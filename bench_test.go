@@ -1,0 +1,385 @@
+package mcudist
+
+// Benchmark harness: one benchmark per table and figure of the
+// paper's evaluation section (see DESIGN.md for the experiment
+// index), plus the ablations. Each iteration regenerates the full
+// experiment through the deployment planner, the event-driven
+// simulator, and the energy model; figure data is attached as custom
+// benchmark metrics so `go test -bench` output doubles as the
+// numeric record of the reproduction.
+
+import (
+	"fmt"
+	"testing"
+
+	"mcudist/internal/core"
+	"mcudist/internal/experiments"
+	"mcudist/internal/model"
+)
+
+// benchSweep runs a chips sweep each iteration and reports the last
+// iteration's speedups as metrics.
+func benchSweep(b *testing.B, wl core.Workload, chips []int) {
+	b.Helper()
+	var last []*core.Report
+	for i := 0; i < b.N; i++ {
+		reports, err := core.Sweep(core.DefaultSystem(1), wl, chips)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = reports
+	}
+	base := last[0]
+	for i, r := range last {
+		b.ReportMetric(core.Speedup(base, r), fmt.Sprintf("speedup_%dchips", chips[i]))
+	}
+	b.ReportMetric(last[len(last)-1].Energy.Total()*1e3, "energy_mJ_max_chips")
+}
+
+// BenchmarkFig4aTinyLlamaAutoregressive regenerates Fig. 4(a):
+// TinyLlama autoregressive runtime and speedup on 1–8 chips
+// (paper: 26.1× at 8 chips).
+func BenchmarkFig4aTinyLlamaAutoregressive(b *testing.B) {
+	benchSweep(b, core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive},
+		[]int{1, 2, 4, 8})
+}
+
+// BenchmarkFig4bTinyLlamaPrompt regenerates Fig. 4(b): prompt mode on
+// 1–8 chips (paper: 9.9×).
+func BenchmarkFig4bTinyLlamaPrompt(b *testing.B) {
+	benchSweep(b, core.Workload{Model: model.TinyLlama42M(), Mode: model.Prompt},
+		[]int{1, 2, 4, 8})
+}
+
+// BenchmarkFig4cMobileBERT regenerates Fig. 4(c): MobileBERT on 1–4
+// chips (paper: 4.7×).
+func BenchmarkFig4cMobileBERT(b *testing.B) {
+	benchSweep(b, core.Workload{Model: model.MobileBERT512(), Mode: model.Prompt},
+		[]int{1, 2, 4})
+}
+
+// BenchmarkFig5aEnergyAutoregressive regenerates Fig. 5(a): energy vs
+// runtime for the original and scaled-up TinyLlama in autoregressive
+// mode (paper: 0.64 mJ at 8 chips; energy drop at 32+ chips).
+func BenchmarkFig5aEnergyAutoregressive(b *testing.B) {
+	var res *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	p1, _ := res.Point(1, false)
+	p8, _ := res.Point(8, false)
+	s64, _ := res.Point(64, true)
+	b.ReportMetric(p8.EnergyMJ, "energy_mJ_8chips")
+	b.ReportMetric(p8.EnergyMJ/p1.EnergyMJ, "energy_ratio_8v1")
+	b.ReportMetric(p1.EDP/p8.EDP, "edp_improvement_8v1")
+	b.ReportMetric(s64.EnergyMJ, "energy_mJ_scaled64")
+}
+
+// BenchmarkFig5bEnergyPrompt regenerates Fig. 5(b).
+func BenchmarkFig5bEnergyPrompt(b *testing.B) {
+	var res *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	p1, _ := res.Point(1, false)
+	p8, _ := res.Point(8, false)
+	b.ReportMetric(p8.EnergyMJ, "energy_mJ_8chips")
+	b.ReportMetric(p8.EnergyMJ/p1.EnergyMJ, "energy_ratio_8v1")
+}
+
+// BenchmarkFig5cEnergyMobileBERT regenerates Fig. 5(c).
+func BenchmarkFig5cEnergyMobileBERT(b *testing.B) {
+	var res *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	p1, _ := res.Point(1, false)
+	p4, _ := res.Point(4, false)
+	b.ReportMetric(p4.EnergyMJ, "energy_mJ_4chips")
+	b.ReportMetric(p4.EnergyMJ/p1.EnergyMJ, "energy_ratio_4v1")
+}
+
+// BenchmarkFig6Scalability regenerates Fig. 6: scaled-up TinyLlama on
+// 2–64 chips (paper: 60.1× autoregressive at 64; prompt flattens past
+// 16).
+func BenchmarkFig6Scalability(b *testing.B) {
+	var res *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(row.AutoregressiveSpeedup, fmt.Sprintf("ar_speedup_%dchips", row.Chips))
+	}
+}
+
+// BenchmarkTable1StrategyComparison regenerates Table I with measured
+// numbers: our tensor-parallel scheme against weight-replicated and
+// pipeline baselines on identical hardware.
+func BenchmarkTable1StrategyComparison(b *testing.B) {
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		switch r.Strategy.String() {
+		case "tensor-parallel":
+			b.ReportMetric(r.ARSpeedup, "ours_ar_speedup")
+			b.ReportMetric(r.PromptSpeedup, "ours_prompt_speedup")
+		case "replicated":
+			b.ReportMetric(r.ARSpeedup, "replicated_ar_speedup")
+		case "pipeline":
+			b.ReportMetric(r.ARSpeedup, "pipeline_ar_speedup")
+		}
+	}
+}
+
+// BenchmarkHeadlineMetrics measures every abstract-level claim in one
+// shot (26.1× / 0.64 mJ / 0.54 ms / 27.2× EDP / 9.9× / 4.7× / 60.1×).
+func BenchmarkHeadlineMetrics(b *testing.B) {
+	var h *experiments.Headline
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHeadline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		h = res
+	}
+	b.ReportMetric(h.ARSpeedup8, "ar_speedup_8chips")
+	b.ReportMetric(h.AREnergy8MJ, "ar_energy_mJ_8chips")
+	b.ReportMetric(h.ARLatency8MS, "ar_latency_ms_8chips")
+	b.ReportMetric(h.AREDPImprovement, "edp_improvement")
+	b.ReportMetric(h.PromptSpeedup8, "prompt_speedup_8chips")
+	b.ReportMetric(h.MobileBERTSpeedup4, "mobilebert_speedup_4chips")
+	b.ReportMetric(h.ScaledSpeedup64, "scaled_speedup_64chips")
+}
+
+// BenchmarkAblationReduceTopology compares hierarchical groups-of-4
+// against flat all-to-one reduction (the Fig. 1 design choice).
+func BenchmarkAblationReduceTopology(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationReduceTopology()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		if r.Chips == 64 {
+			b.ReportMetric(r.Cycles, r.Label+"_cycles_64chips")
+		}
+	}
+}
+
+// BenchmarkAblationReducePrecision compares int8 against int32
+// partial-output exchange.
+func BenchmarkAblationReducePrecision(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationReducePrecision()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.C2CBytes), r.Label+"_c2c_bytes")
+	}
+}
+
+// BenchmarkAblationPrefetch compares overlapped against exposed
+// double-buffer prefetch accounting.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationPrefetch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Cycles, r.Label+"_cycles")
+	}
+}
+
+// BenchmarkAblationGroupSize sweeps the reduce-tree arity at 64 chips.
+func BenchmarkAblationGroupSize(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationGroupSize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Cycles, r.Label+"_cycles")
+	}
+}
+
+// BenchmarkAblationActivationSpill isolates the streamed-tier
+// activation-spill model.
+func BenchmarkAblationActivationSpill(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationActivationSpill()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		if r.Chips == 1 {
+			b.ReportMetric(r.Cycles, r.Label+"_cycles_1chip")
+		}
+	}
+}
+
+// BenchmarkExtensionFullGrid sweeps every chip count 1–8 (not just
+// the paper's powers of two), exposing the off-chip-free crossover at
+// 5 chips.
+func BenchmarkExtensionFullGrid(b *testing.B) {
+	var rows []experiments.GridRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionFullGrid()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		if r.Chips == 5 || r.Chips == 8 {
+			b.ReportMetric(r.Speedup, fmt.Sprintf("speedup_%dchips", r.Chips))
+		}
+	}
+}
+
+// BenchmarkExtensionSeqLen sweeps the prompt length, tracing the
+// memory-bound to compute-bound transition.
+func BenchmarkExtensionSeqLen(b *testing.B) {
+	var rows []experiments.SeqLenRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionSeqLenStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup8, fmt.Sprintf("speedup8_s%d", r.SeqLen))
+	}
+}
+
+// BenchmarkExtensionGQA compares grouped-query attention against full
+// multi-head attention on the same geometry.
+func BenchmarkExtensionGQA(b *testing.B) {
+	var rows []experiments.GQARow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionGQAStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.KVCacheBytes), r.Variant+"_kv_bytes")
+	}
+}
+
+// BenchmarkExtensionBatching quantifies Table I's pipelining argument
+// across batch sizes.
+func BenchmarkExtensionBatching(b *testing.B) {
+	var rows []experiments.BatchRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtensionBatchingStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		if r.Batch == 1 || r.Batch == 16 {
+			b.ReportMetric(r.PipeThroughput, fmt.Sprintf("pipe_req_per_s_b%d", r.Batch))
+			b.ReportMetric(r.OursThroughput, fmt.Sprintf("ours_req_per_s_b%d", r.Batch))
+		}
+	}
+}
+
+// BenchmarkAblationStraggler measures the cost of one throttled chip.
+func BenchmarkAblationStraggler(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationStraggler()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Cycles, r.Label+"_cycles")
+	}
+}
+
+// BenchmarkGenerationSession measures a full prefill+decode session
+// (16-token prompt, 16 generated tokens) on 8 chips.
+func BenchmarkGenerationSession(b *testing.B) {
+	sys := core.DefaultSystem(8)
+	var g *core.GenerationReport
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunGeneration(sys, model.TinyLlama42M(), 16, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = rep
+	}
+	b.ReportMetric(g.TimeToFirstTokenSeconds*1e3, "ttft_ms")
+	b.ReportMetric(g.TokensPerSecond, "tokens_per_sec")
+	b.ReportMetric(g.TotalEnergyJ*1e3, "session_energy_mJ")
+}
+
+// BenchmarkSingleRun8Chips measures the cost of one full
+// plan+simulate+evaluate cycle (simulator throughput).
+func BenchmarkSingleRun8Chips(b *testing.B) {
+	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}
+	sys := core.DefaultSystem(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(sys, wl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleRun64Chips stresses the simulator at the largest
+// system size.
+func BenchmarkSingleRun64Chips(b *testing.B) {
+	wl := core.Workload{Model: model.TinyLlamaScaled64(), Mode: model.Prompt}
+	sys := core.DefaultSystem(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(sys, wl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

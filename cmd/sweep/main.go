@@ -1,0 +1,80 @@
+// Command sweep runs a workload across a list of chip counts and
+// emits one CSV row per configuration — the raw data behind the
+// paper's figures, ready for plotting.
+//
+// Usage:
+//
+//	sweep -model tinyllama -mode autoregressive -chips 1,2,4,8
+//	sweep -model scaled -mode prompt -chips 1,2,4,8,16,32,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mcudist/internal/core"
+	"mcudist/internal/model"
+	"mcudist/internal/report"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "tinyllama", "model: tinyllama | scaled | mobilebert")
+		modeName  = flag.String("mode", "autoregressive", "mode: autoregressive | prompt")
+		chipsList = flag.String("chips", "1,2,4,8", "comma-separated chip counts")
+		seqLen    = flag.Int("seqlen", 0, "sequence length (0 = paper default)")
+	)
+	flag.Parse()
+
+	var cfg model.Config
+	switch strings.ToLower(*modelName) {
+	case "tinyllama":
+		cfg = model.TinyLlama42M()
+	case "scaled":
+		cfg = model.TinyLlamaScaled64()
+	case "mobilebert":
+		cfg = model.MobileBERT512()
+	default:
+		fatal(fmt.Errorf("unknown model %q", *modelName))
+	}
+	mode := model.Autoregressive
+	if strings.HasPrefix(strings.ToLower(*modeName), "p") {
+		mode = model.Prompt
+	}
+
+	var chips []int
+	for _, part := range strings.Split(*chipsList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad chip count %q: %v", part, err))
+		}
+		chips = append(chips, n)
+	}
+
+	wl := core.Workload{Model: cfg, Mode: mode, SeqLen: *seqLen}
+	reports, err := core.Sweep(core.DefaultSystem(1), wl, chips)
+	if err != nil {
+		fatal(err)
+	}
+	base := reports[0]
+
+	t := report.NewTable("", "chips", "cycles", "ms", "speedup",
+		"compute_cycles", "l2l1_cycles", "l3_cycles", "c2c_cycles",
+		"energy_mj", "edp_js", "tier")
+	for i, r := range reports {
+		t.AddRow(chips[i], r.Cycles, r.Seconds*1e3, core.Speedup(base, r),
+			r.Breakdown.Compute, r.Breakdown.L2L1, r.Breakdown.L3, r.Breakdown.C2C,
+			r.Energy.Total()*1e3, r.EDP, r.Tier.String())
+	}
+	if err := t.CSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Custom-model sizing: the library as a design tool. Given a new
+// small language model, find the smallest MCU network that runs every
+// transformer block from on-chip memory (the paper's condition for
+// super-linear latency and minimal off-chip energy), then compare the
+// paper's tensor-parallel scheme against the two baseline strategies
+// at that size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcudist"
+)
+
+func main() {
+	// A hypothetical 110M-parameter assistant model: wider and deeper
+	// than TinyLlama-42M, gated FFN, 16 heads.
+	cfg := mcudist.TinyLlama42M()
+	cfg.Name = "assistant-110m"
+	cfg.E = 768
+	cfg.P = 768
+	cfg.H = 16
+	cfg.F = 3072
+	cfg.L = 10
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	wl := mcudist.Workload{Model: cfg, Mode: mcudist.Autoregressive, SeqLen: 256}
+	fmt.Printf("model %s: %.1f MiB of int8 weights, %d blocks of %.1f MiB\n\n",
+		cfg.Name, float64(cfg.TotalWeightBytes())/(1<<20), cfg.L,
+		float64(cfg.BlockWeightBytes())/(1<<20))
+
+	// Sizing: the design-space explorer answers the question
+	// directly, then the Pareto frontier shows the trade space.
+	best, err := mcudist.MinChipsOffChipFree(mcudist.DefaultSystem(1), wl, 16)
+	if err != nil {
+		log.Fatalf("no configuration up to 16 chips fits: %v", err)
+	}
+	offChipFree := best.Chips
+	fmt.Printf("smallest off-chip-free system: %d chips (%.3f ms/token, %.3f mJ)\n\n",
+		offChipFree, best.Report.Seconds*1e3, best.Report.Energy.Total()*1e3)
+
+	points, err := mcudist.Frontier(mcudist.DefaultSystem(1), wl,
+		mcudist.LegalChipCounts(cfg, 16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %10s %9s %10s %-16s %s\n", "chips", "ms/token", "speedup", "energy mJ", "placement", "pareto")
+	base := points[0].Report
+	for _, p := range points {
+		mark := ""
+		if p.Pareto {
+			mark = "*"
+		}
+		fmt.Printf("%-6d %10.3f %8.1fx %10.3f %-16s %s\n",
+			p.Chips, p.Report.Seconds*1e3, mcudist.Speedup(base, p.Report),
+			p.Report.Energy.Total()*1e3, p.Report.Tier, mark)
+	}
+
+	// Strategy comparison at the sizing point.
+	fmt.Printf("\nstrategy comparison at %d chips (single-token latency):\n", offChipFree)
+	for _, strat := range []mcudist.Strategy{
+		mcudist.TensorParallel, mcudist.Replicated, mcudist.Pipeline,
+	} {
+		n := offChipFree
+		note := ""
+		if strat == mcudist.Pipeline && n > cfg.L {
+			n = cfg.L // a pipeline cannot have more stages than blocks
+			note = fmt.Sprintf("  (capped at %d stages)", n)
+		}
+		sys := mcudist.DefaultSystem(n)
+		sys.Strategy = strat
+		rep, err := mcudist.Run(sys, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s %8.3f ms  %8.3f mJ%s\n", strat, rep.Seconds*1e3, rep.Energy.Total()*1e3, note)
+	}
+
+	// And the functional guarantee for the custom geometry.
+	mini := cfg
+	mini.L = 2
+	w := mcudist.NewWeights(mini, 11)
+	x := mcudist.RandomInput(mini, 3, 12)
+	plan, err := mcudist.NewPlan(mini, offChipFree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exec, err := mcudist.NewExecutor(w, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnumeric check at %d chips: max diff vs reference %.2e\n",
+		offChipFree, mcudist.MaxAbsDiff(mcudist.Forward(w, x, nil), exec.Forward(x)))
+}

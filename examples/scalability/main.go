@@ -1,0 +1,57 @@
+// Scalability study: the paper's 64-head TinyLlama distributed over
+// 2–64 chips (Fig. 6). The example prints the speedup curves for both
+// inference modes and annotates the placement-tier transitions that
+// explain the super-linear region.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mcudist"
+)
+
+func main() {
+	cfg := mcudist.TinyLlamaScaled64()
+	chips := []int{1, 2, 4, 8, 16, 32, 64}
+
+	fmt.Printf("scalability of %s (%d heads) on up to 64 chips\n\n", cfg.Name, cfg.H)
+
+	ar, err := mcudist.Sweep(mcudist.DefaultSystem(1),
+		mcudist.Workload{Model: cfg, Mode: mcudist.Autoregressive}, chips)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr, err := mcudist.Sweep(mcudist.DefaultSystem(1),
+		mcudist.Workload{Model: cfg, Mode: mcudist.Prompt}, chips)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %14s %14s %8s  %s\n", "chips", "AR speedup", "prompt speedup", "linear", "weight placement (AR)")
+	for i, n := range chips {
+		arS := mcudist.Speedup(ar[0], ar[i])
+		prS := mcudist.Speedup(pr[0], pr[i])
+		marker := ""
+		if arS > float64(n) && n > 1 {
+			marker = " super-linear"
+		}
+		fmt.Printf("%-6d %13.1fx %13.1fx %7d  %v%s\n", n, arS, prS, n, ar[i].Tier, marker)
+	}
+
+	fmt.Println("\nAR speedup curve:")
+	for i, n := range chips {
+		if n == 1 {
+			continue
+		}
+		s := mcudist.Speedup(ar[0], ar[i])
+		fmt.Printf("%4d chips |%s %.1fx\n", n, strings.Repeat("#", int(s/2+0.5)), s)
+	}
+
+	fmt.Println("\ntier transitions explain the curve: streamed (1-4) pays off-chip")
+	fmt.Println("weight traffic every block; double-buffered (8-16) hides it;")
+	fmt.Println("resident-all (32-64) eliminates it and drops energy, while the")
+	fmt.Println("prompt curve flattens past 16 chips as computation stops dominating")
+	fmt.Println("(paper Sec. V-C).")
+}

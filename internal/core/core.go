@@ -1,0 +1,152 @@
+// Package core is the orchestration layer: it wires a hardware
+// description, a partition strategy, and a workload into the
+// deployment planner, the performance simulator, and the energy
+// model, returning one consolidated report per run. The public root
+// package mcudist re-exports this API.
+package core
+
+import (
+	"fmt"
+
+	"mcudist/internal/deploy"
+	"mcudist/internal/energy"
+	"mcudist/internal/hw"
+	"mcudist/internal/model"
+	"mcudist/internal/partition"
+	"mcudist/internal/perfsim"
+)
+
+// System describes the multi-chip platform and distribution strategy.
+type System struct {
+	// HW is the hardware parameter set (hw.Siracusa() by default).
+	HW hw.Params
+	// Chips is the number of MCUs.
+	Chips int
+	// Strategy selects the distribution scheme (TensorParallel is the
+	// paper's).
+	Strategy partition.Strategy
+	// Options tunes the deployment planner.
+	Options deploy.Options
+}
+
+// DefaultSystem returns the paper's system with n chips.
+func DefaultSystem(n int) System {
+	return System{HW: hw.Siracusa(), Chips: n, Strategy: partition.TensorParallel}
+}
+
+// Workload describes what to run.
+type Workload struct {
+	Model model.Config
+	Mode  model.Mode
+	// SeqLen is the sequence length (context length in autoregressive
+	// mode); zero selects the paper's value for the model and mode.
+	SeqLen int
+}
+
+// ResolvedSeqLen returns the effective sequence length.
+func (w Workload) ResolvedSeqLen() int {
+	if w.SeqLen > 0 {
+		return w.SeqLen
+	}
+	return model.PaperSeqLen(w.Model, w.Mode)
+}
+
+// Report is the consolidated outcome of one simulated forward pass.
+type Report struct {
+	System   System
+	Workload Workload
+
+	// Cycles is the total runtime in cluster cycles.
+	Cycles float64
+	// Seconds is the runtime in wall-clock seconds.
+	Seconds float64
+	// Breakdown attributes the runtime to compute / L2↔L1 / L3↔L2 /
+	// chip-to-chip, the paper's Fig. 4 categories.
+	Breakdown perfsim.Breakdown
+	// Energy itemizes the analytical energy model.
+	Energy energy.Report
+	// EDP is the energy-delay product in joule-seconds.
+	EDP float64
+	// Tier is the weakest weight-placement tier across chips.
+	Tier deploy.Tier
+	// Syncs counts chip synchronizations (2 per block for the
+	// paper's scheme).
+	Syncs int
+	// L3Bytes is total off-chip traffic; C2CBytes total link traffic.
+	L3Bytes  int64
+	C2CBytes int64
+	// PerChip carries the raw simulator counters.
+	PerChip []perfsim.ChipStats
+}
+
+// Run plans, simulates, and evaluates one workload on one system.
+func Run(sys System, wl Workload) (*Report, error) {
+	if sys.Chips <= 0 {
+		return nil, fmt.Errorf("core: chip count %d must be positive", sys.Chips)
+	}
+	plan, err := buildPlan(sys, wl.Model)
+	if err != nil {
+		return nil, err
+	}
+	s := wl.ResolvedSeqLen()
+	d, err := deploy.New(plan, sys.HW, wl.Mode, s, sys.Options)
+	if err != nil {
+		return nil, err
+	}
+	res, err := perfsim.Run(d)
+	if err != nil {
+		return nil, err
+	}
+	e := energy.FromResult(sys.HW, res)
+	rep := &Report{
+		System:    sys,
+		Workload:  wl,
+		Cycles:    res.TotalCycles,
+		Seconds:   sys.HW.CyclesToSeconds(res.TotalCycles),
+		Breakdown: res.Breakdown,
+		Energy:    e,
+		EDP:       e.Total() * sys.HW.CyclesToSeconds(res.TotalCycles),
+		Tier:      d.WorstTier(),
+		Syncs:     res.Syncs,
+		C2CBytes:  res.TotalC2CBytes,
+		PerChip:   res.PerChip,
+	}
+	for i := range res.PerChip {
+		rep.L3Bytes += res.PerChip[i].L3Bytes
+	}
+	return rep, nil
+}
+
+func buildPlan(sys System, cfg model.Config) (*partition.Plan, error) {
+	switch sys.Strategy {
+	case partition.TensorParallel:
+		return partition.NewTensorParallel(cfg, sys.Chips)
+	case partition.Replicated:
+		return partition.NewReplicated(cfg, sys.Chips)
+	case partition.Pipeline:
+		return partition.NewPipeline(cfg, sys.Chips)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", sys.Strategy)
+	}
+}
+
+// Sweep runs the workload across several chip counts on otherwise
+// identical systems and returns reports in order.
+func Sweep(base System, wl Workload, chipCounts []int) ([]*Report, error) {
+	out := make([]*Report, 0, len(chipCounts))
+	for _, n := range chipCounts {
+		sys := base
+		sys.Chips = n
+		rep, err := Run(sys, wl)
+		if err != nil {
+			return nil, fmt.Errorf("core: %d chips: %w", n, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// Speedup returns base.Cycles / r.Cycles.
+func Speedup(base, r *Report) float64 {
+	return base.Cycles / r.Cycles
+}

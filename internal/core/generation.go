@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"mcudist/internal/model"
+)
+
+// GenerationReport aggregates a full interactive session: one
+// prompt-mode prefill followed by token-by-token autoregressive
+// decoding against a growing context — the paper's two modes composed
+// the way a deployed assistant uses them.
+type GenerationReport struct {
+	Prefill *Report
+	// Steps holds one report per generated token (context grows by
+	// one each step).
+	Steps []*Report
+
+	// Aggregates over prefill + all steps.
+	TotalSeconds  float64
+	TotalEnergyJ  float64
+	TotalL3Bytes  int64
+	TotalC2CBytes int64
+
+	// TimeToFirstTokenSeconds is the prefill latency; per-token
+	// decode latencies are in Steps.
+	TimeToFirstTokenSeconds float64
+	// TokensPerSecond is the steady-state decode rate (generated
+	// tokens over decode time).
+	TokensPerSecond float64
+}
+
+// RunGeneration simulates a session that ingests promptLen tokens and
+// generates genTokens more. Decoder models only.
+func RunGeneration(sys System, cfg model.Config, promptLen, genTokens int) (*GenerationReport, error) {
+	if cfg.Arch != model.Decoder {
+		return nil, fmt.Errorf("core: generation requires a decoder, %s is an %s", cfg.Name, cfg.Arch)
+	}
+	if promptLen <= 0 {
+		return nil, fmt.Errorf("core: prompt length %d must be positive", promptLen)
+	}
+	if genTokens < 0 {
+		return nil, fmt.Errorf("core: token count %d must be non-negative", genTokens)
+	}
+
+	g := &GenerationReport{}
+	prefill, err := Run(sys, Workload{Model: cfg, Mode: model.Prompt, SeqLen: promptLen})
+	if err != nil {
+		return nil, fmt.Errorf("core: prefill: %w", err)
+	}
+	g.Prefill = prefill
+	g.TimeToFirstTokenSeconds = prefill.Seconds
+	accumulate(g, prefill)
+
+	var decodeSeconds float64
+	for i := 0; i < genTokens; i++ {
+		ctx := promptLen + i + 1
+		step, err := Run(sys, Workload{Model: cfg, Mode: model.Autoregressive, SeqLen: ctx})
+		if err != nil {
+			return nil, fmt.Errorf("core: token %d: %w", i, err)
+		}
+		g.Steps = append(g.Steps, step)
+		decodeSeconds += step.Seconds
+		accumulate(g, step)
+	}
+	if decodeSeconds > 0 {
+		g.TokensPerSecond = float64(genTokens) / decodeSeconds
+	}
+	return g, nil
+}
+
+func accumulate(g *GenerationReport, r *Report) {
+	g.TotalSeconds += r.Seconds
+	g.TotalEnergyJ += r.Energy.Total()
+	g.TotalL3Bytes += r.L3Bytes
+	g.TotalC2CBytes += r.C2CBytes
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mcudist/internal/model"
+)
+
+func TestRunGeneration(t *testing.T) {
+	g, err := RunGeneration(DefaultSystem(8), model.TinyLlama42M(), 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Prefill == nil || len(g.Steps) != 4 {
+		t.Fatalf("prefill=%v steps=%d", g.Prefill != nil, len(g.Steps))
+	}
+	if g.TimeToFirstTokenSeconds != g.Prefill.Seconds {
+		t.Fatal("TTFT != prefill latency")
+	}
+	if g.TokensPerSecond <= 0 {
+		t.Fatal("no decode rate")
+	}
+	var wantSeconds float64 = g.Prefill.Seconds
+	var wantEnergy float64 = g.Prefill.Energy.Total()
+	for _, s := range g.Steps {
+		wantSeconds += s.Seconds
+		wantEnergy += s.Energy.Total()
+	}
+	if math.Abs(g.TotalSeconds-wantSeconds) > 1e-12 {
+		t.Fatal("total seconds mismatch")
+	}
+	if math.Abs(g.TotalEnergyJ-wantEnergy) > 1e-15 {
+		t.Fatal("total energy mismatch")
+	}
+}
+
+func TestGenerationContextGrows(t *testing.T) {
+	g, err := RunGeneration(DefaultSystem(8), model.TinyLlama42M(), 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range g.Steps {
+		if got := s.Workload.SeqLen; got != 8+i+1 {
+			t.Fatalf("step %d context %d, want %d", i, got, 8+i+1)
+		}
+	}
+	// Later steps attend over longer contexts: monotone non-shrinking
+	// cycle counts.
+	for i := 1; i < len(g.Steps); i++ {
+		if g.Steps[i].Cycles < g.Steps[i-1].Cycles {
+			t.Fatalf("step %d faster than step %d despite longer context", i, i-1)
+		}
+	}
+}
+
+func TestGenerationValidation(t *testing.T) {
+	if _, err := RunGeneration(DefaultSystem(4), model.MobileBERT512(), 8, 2); err == nil {
+		t.Error("encoder generation accepted")
+	}
+	if _, err := RunGeneration(DefaultSystem(4), model.TinyLlama42M(), 0, 2); err == nil {
+		t.Error("zero prompt accepted")
+	}
+	if _, err := RunGeneration(DefaultSystem(4), model.TinyLlama42M(), 8, -1); err == nil {
+		t.Error("negative token count accepted")
+	}
+}
+
+func TestGenerationZeroTokens(t *testing.T) {
+	g, err := RunGeneration(DefaultSystem(8), model.TinyLlama42M(), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Steps) != 0 || g.TokensPerSecond != 0 {
+		t.Fatal("zero-token generation should have no steps and no rate")
+	}
+	if g.TotalSeconds != g.Prefill.Seconds {
+		t.Fatal("total should equal prefill")
+	}
+}
+
+func TestGenerationGQAModel(t *testing.T) {
+	g, err := RunGeneration(DefaultSystem(3), model.SmolLM135M(), 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Steps) != 2 {
+		t.Fatal("GQA generation incomplete")
+	}
+}

@@ -1,0 +1,264 @@
+// Package deploy is the deployment planner (the role Deeploy plays in
+// the paper): given a partition plan, a hardware description, and a
+// workload, it decides weight placement (which residency tier each
+// chip runs in), sizes the L2 footprint, and lowers each block into
+// per-chip kernel sequences plus collective operations for the
+// performance simulator.
+package deploy
+
+import (
+	"fmt"
+
+	"mcudist/internal/hw"
+	"mcudist/internal/kernels"
+	"mcudist/internal/mem"
+	"mcudist/internal/model"
+	"mcudist/internal/partition"
+)
+
+// Options tune planner behaviour; the zero value is the paper's
+// accounting.
+type Options struct {
+	// PrefetchExposed charges the double-buffered weight prefetch's
+	// residual time (transfer beyond the block's other work) to
+	// runtime instead of hiding it — the accounting ablation.
+	PrefetchExposed bool
+	// CommTileBytes overrides the collective staging tile
+	// (DefaultCommTileBytes when zero).
+	CommTileBytes int
+	// NoActivationSpill disables the streamed-tier activation spill
+	// to L3 — the ablation that isolates how much of the single-chip
+	// penalty comes from L3-resident intermediate tensors.
+	NoActivationSpill bool
+	// DegradedLinkFactor, when positive, scales the bandwidth of
+	// every link touching DegradedLinkChip (failure injection: 0.25
+	// models a link renegotiated to quarter rate; 0 disables).
+	DegradedLinkFactor float64
+	// DegradedLinkChip selects the chip whose links degrade.
+	DegradedLinkChip int
+	// StragglerFactor, when positive, scales one chip's compute
+	// throughput (thermal throttling / process variation: 0.5 runs
+	// StragglerChip at half speed; 0 disables). Under the
+	// tensor-parallel scheme every synchronization waits for the
+	// straggler.
+	StragglerFactor float64
+	// StragglerChip selects the throttled chip.
+	StragglerChip int
+}
+
+// ChipDeploy is the lowered program of one chip.
+type ChipDeploy struct {
+	Chip      int
+	Tier      Tier
+	Footprint mem.Footprint
+	// MHSA and FC are the block-phase kernel sequences.
+	MHSA []kernels.Cost
+	FC   []kernels.Cost
+	// StreamBytesPerBlock is the weight traffic L3→L2 this chip
+	// incurs per block execution in steady state (zero for
+	// TierResidentAll).
+	StreamBytesPerBlock int64
+	// ExposedMHSABytes / ExposedFCBytes are the synchronous L3
+	// transfers inside each phase under TierStreamed: the phase's
+	// weight share plus the activation spill (with L2 reduced to a
+	// staging buffer, every activation tensor lives in L3; tiled
+	// weights force operand re-fetches).
+	ExposedMHSABytes int64
+	ExposedFCBytes   int64
+	// BlockLoadBytes is the synchronous between-blocks weight load
+	// under TierResidentSingle.
+	BlockLoadBytes int64
+	// Blocks is how many blocks this chip executes per forward.
+	Blocks int
+	// SeqRows is the number of token rows this chip processes
+	// (differs per chip only under the Replicated baseline).
+	SeqRows int
+}
+
+// Deployment is the complete lowered program for the multi-chip
+// system.
+type Deployment struct {
+	Plan    *partition.Plan
+	HW      hw.Params
+	Mode    model.Mode
+	SeqLen  int
+	Options Options
+
+	Chips []ChipDeploy
+	// ReduceAdd is the per-received-tile accumulation cost during the
+	// all-reduce (tensor-parallel and replicated strategies).
+	ReduceAdd kernels.Cost
+	// RootSync is the root's serial residual+norm+requant work per
+	// synchronization.
+	RootSync []kernels.Cost
+	// ReducePayload/BcastPayload are per-hop collective payloads.
+	ReducePayload int64
+	BcastPayload  int64
+}
+
+// New lowers a partition plan onto the hardware for the given
+// workload.
+func New(p *partition.Plan, hwp hw.Params, mode model.Mode, s int, opts Options) (*Deployment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := hwp.Validate(); err != nil {
+		return nil, err
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("deploy: sequence length %d must be positive", s)
+	}
+	if mode == model.Autoregressive && p.Config.Arch != model.Decoder {
+		return nil, fmt.Errorf("deploy: autoregressive mode needs a decoder, %s is an %s",
+			p.Config.Name, p.Config.Arch)
+	}
+	commTile := opts.CommTileBytes
+	if commTile == 0 {
+		commTile = DefaultCommTileBytes
+	}
+
+	d := &Deployment{
+		Plan:          p,
+		HW:            hwp,
+		Mode:          mode,
+		SeqLen:        s,
+		Options:       opts,
+		ReduceAdd:     reduceAddOp(p.Config, mode, s, hwp),
+		RootSync:      rootSyncOps(p.Config, mode, s, hwp),
+		ReducePayload: p.ReducePayloadBytes(queryRows(mode, s)),
+		BcastPayload:  p.BcastPayloadBytes(queryRows(mode, s)),
+	}
+
+	for chip := 0; chip < p.Chips; chip++ {
+		cd, err := lowerChip(p, chip, hwp, mode, s, commTile, opts)
+		if err != nil {
+			return nil, err
+		}
+		d.Chips = append(d.Chips, cd)
+	}
+	return d, nil
+}
+
+func lowerChip(p *partition.Plan, chip int, hwp hw.Params, mode model.Mode, s, commTile int, opts Options) (ChipDeploy, error) {
+	tier, fp := chooseTier(p, chip, mode, s, commTile, hwp)
+	cd := ChipDeploy{
+		Chip:      chip,
+		Tier:      tier,
+		Footprint: fp,
+		Blocks:    p.BlocksOnChip(chip),
+		SeqRows:   queryRows(mode, s),
+	}
+	if tier != TierResidentAll {
+		cd.StreamBytesPerBlock = int64(p.BlockWeightBytesOnChip(chip))
+	}
+
+	switch p.Strategy {
+	case partition.TensorParallel:
+		cd.MHSA = mhsaOps(p, chip, mode, s, hwp)
+		cd.FC = fcOps(p, chip, mode, s, hwp)
+	case partition.Replicated:
+		rows := p.SeqSplit(queryRows(mode, s))[chip].Len()
+		cd.SeqRows = rows
+		// The replicated baseline's block is modeled as one fused
+		// phase (MHSA) plus an empty FC phase; synchronization slots
+		// still apply (context exchange + output exchange).
+		cd.MHSA = replicatedChipOps(p, rows, s, hwp)
+		cd.FC = nil
+		if rows == 0 {
+			cd.StreamBytesPerBlock = 0 // idle chips do not touch weights
+		}
+	case partition.Pipeline:
+		cd.MHSA = singleChipBlockOps(p.Config, mode, s, hwp)
+		cd.FC = nil
+	default:
+		return cd, fmt.Errorf("deploy: unknown strategy %v", p.Strategy)
+	}
+	attachL3Exposure(&cd, hwp, opts)
+	return cd, nil
+}
+
+// attachL3Exposure derives the synchronous L3 traffic of the chip from
+// its tier: streamed chips move each phase's weights plus all
+// activations through L3; resident-single chips reload one block's
+// weights between blocks.
+func attachL3Exposure(cd *ChipDeploy, hwp hw.Params, opts Options) {
+	switch cd.Tier {
+	case TierStreamed:
+		l1Tile := int64(hwp.Chip.L1Bytes / 2)
+		mw, fw := phaseWeightBytes(cd.MHSA), phaseWeightBytes(cd.FC)
+		cd.ExposedMHSABytes = weightShare(cd.StreamBytesPerBlock, mw, mw+fw)
+		cd.ExposedFCBytes = weightShare(cd.StreamBytesPerBlock, fw, mw+fw)
+		if !opts.NoActivationSpill {
+			cd.ExposedMHSABytes += spillBytes(cd.MHSA, l1Tile)
+			cd.ExposedFCBytes += spillBytes(cd.FC, l1Tile)
+		}
+	case TierResidentSingle:
+		cd.BlockLoadBytes = cd.StreamBytesPerBlock
+	}
+}
+
+func phaseWeightBytes(ops []kernels.Cost) int64 {
+	var total int64
+	for _, op := range ops {
+		total += op.WeightBytes
+	}
+	return total
+}
+
+func weightShare(total, part, sum int64) int64 {
+	if sum == 0 {
+		return 0
+	}
+	return total * part / sum
+}
+
+// spillBytes is the extra L3 traffic of running a kernel list with
+// L3-resident activations: each input operand is staged through L2
+// once and re-fetched once per weight tile beyond the first (tiled
+// GEMM re-reads its activation operand per output tile), and outputs
+// are written back once.
+func spillBytes(ops []kernels.Cost, l1Tile int64) int64 {
+	var total int64
+	for _, op := range ops {
+		refetch := int64(2)
+		if op.WeightBytes > 0 && l1Tile > 0 {
+			if t := (op.WeightBytes+l1Tile-1)/l1Tile + 1; t > refetch {
+				refetch = t
+			}
+		}
+		total += op.ActInBytes*refetch + op.ActOutBytes
+	}
+	return total
+}
+
+// MHSACost returns the aggregated MHSA-phase cost of a chip.
+func (d *Deployment) MHSACost(chip int) kernels.Cost { return sumCosts(d.Chips[chip].MHSA) }
+
+// FCCost returns the aggregated FC-phase cost of a chip.
+func (d *Deployment) FCCost(chip int) kernels.Cost { return sumCosts(d.Chips[chip].FC) }
+
+// RootSyncCost returns the aggregated root serial cost per sync.
+func (d *Deployment) RootSyncCost() kernels.Cost { return sumCosts(d.RootSync) }
+
+// WorstTier returns the weakest placement across chips — the tier
+// that governs whether the system as a whole avoids exposed off-chip
+// traffic.
+func (d *Deployment) WorstTier() Tier {
+	worst := TierResidentAll
+	for _, c := range d.Chips {
+		if c.Tier < worst {
+			worst = c.Tier
+		}
+	}
+	return worst
+}
+
+// TotalL3BytesPerForward returns the steady-state L3 weight traffic of
+// one full forward pass across all chips.
+func (d *Deployment) TotalL3BytesPerForward() int64 {
+	var total int64
+	for _, c := range d.Chips {
+		total += c.StreamBytesPerBlock * int64(c.Blocks)
+	}
+	return total
+}

@@ -1,0 +1,108 @@
+package deploy
+
+import (
+	"mcudist/internal/hw"
+	"mcudist/internal/mem"
+	"mcudist/internal/model"
+	"mcudist/internal/partition"
+)
+
+// DefaultCommTileBytes bounds the L2 staging for inbound/outbound
+// partial tensors: larger payloads are exchanged in tiles of this
+// size, so staging does not grow with sequence length.
+const DefaultCommTileBytes = 64 * 1024
+
+// queryRows returns the number of token rows processed per forward:
+// one in autoregressive mode, S in prompt mode.
+func queryRows(mode model.Mode, s int) int {
+	if mode == model.Autoregressive {
+		return 1
+	}
+	return s
+}
+
+// activationBytes estimates the peak per-block activation storage of
+// one chip under the plan: the broadcast input, the chip's Q/K/V
+// slices, the larger of one head's score matrix and the FFN
+// intermediate slice, the partial output staging, and the block
+// output.
+func activationBytes(p *partition.Plan, chip int, mode model.Mode, s int) int {
+	cfg := p.Config
+	sq := queryRows(mode, s)
+	x := sq * cfg.E * cfg.ActBytes
+	qkv := sq * (p.PSlice(chip) + 2*p.KVWidth(chip)) * cfg.ActBytes
+	scores := sq * s * cfg.ActBytes
+	ffnInter := sq * p.FWidth(chip) * cfg.ActBytes
+	inner := scores
+	if ffnInter > inner {
+		inner = ffnInter
+	}
+	partial := sq * cfg.E * cfg.ReduceBytes
+	out := sq * cfg.E * cfg.ActBytes
+	return x + qkv + inner + partial + out
+}
+
+// commStagingBytes is the bounded L2 staging for collective payloads.
+func commStagingBytes(p *partition.Plan, mode model.Mode, s int, commTile int) int {
+	sq := queryRows(mode, s)
+	staging := 0
+	for _, payload := range []int64{p.ReducePayloadBytes(sq), p.BcastPayloadBytes(sq)} {
+		if payload > int64(commTile) {
+			staging += commTile
+		} else {
+			staging += int(payload)
+		}
+	}
+	return staging
+}
+
+// kvResidentBytes is the chip's resident KV-cache requirement: its
+// head slices for every block it participates in (decoders only).
+func kvResidentBytes(p *partition.Plan, chip int, s int) int {
+	if p.Config.Arch != model.Decoder {
+		return 0
+	}
+	return p.KVBytesPerBlockOnChip(chip, s) * p.BlocksOnChip(chip)
+}
+
+// footprintAt builds the L2 footprint of a chip under a candidate
+// weight-residency multiple: weightBlocks = how many blocks' weight
+// slices are held simultaneously (0 = streamed tile only).
+func footprintAt(p *partition.Plan, chip int, mode model.Mode, s, weightBlocks, commTile int, hwp hw.Params) mem.Footprint {
+	wb := p.BlockWeightBytesOnChip(chip) * weightBlocks
+	if weightBlocks == 0 {
+		// Streaming needs a double-buffered weight tile in L2.
+		wb = 2 * streamTileBytes(hwp)
+	}
+	return mem.Footprint{
+		WeightBytes:     wb,
+		KVBytes:         kvResidentBytes(p, chip, s),
+		ActivationBytes: activationBytes(p, chip, mode, s),
+		CommBytes:       commStagingBytes(p, mode, s, commTile),
+	}
+}
+
+// streamTileBytes is the L2 tile used when weights stream from L3.
+func streamTileBytes(hwp hw.Params) int {
+	t := hwp.Chip.L1Bytes / 2
+	if t <= 0 {
+		t = 4096
+	}
+	return t
+}
+
+// chooseTier picks the best placement the chip's L2 budget allows.
+func chooseTier(p *partition.Plan, chip int, mode model.Mode, s, commTile int, hwp hw.Params) (Tier, mem.Footprint) {
+	budget := hwp.UsableL2Bytes()
+	blocks := p.BlocksOnChip(chip)
+	if fp := footprintAt(p, chip, mode, s, blocks, commTile, hwp); fp.FitsIn(budget) {
+		return TierResidentAll, fp
+	}
+	if fp := footprintAt(p, chip, mode, s, 2, commTile, hwp); blocks > 1 && fp.FitsIn(budget) {
+		return TierDoubleBuffered, fp
+	}
+	if fp := footprintAt(p, chip, mode, s, 1, commTile, hwp); fp.FitsIn(budget) {
+		return TierResidentSingle, fp
+	}
+	return TierStreamed, footprintAt(p, chip, mode, s, 0, commTile, hwp)
+}

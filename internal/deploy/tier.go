@@ -1,0 +1,47 @@
+package deploy
+
+import "fmt"
+
+// Tier is the weight-placement regime of one chip, the capacity
+// decision that produces the paper's super-linear speedups: crossing
+// from Streamed/ResidentSingle into DoubleBuffered removes L3 from the
+// critical path, and into ResidentAll removes L3 entirely.
+type Tier int
+
+const (
+	// TierStreamed: one block's weight slice does not fit in usable
+	// L2; weights stream from L3 synchronously during the block.
+	TierStreamed Tier = iota
+	// TierResidentSingle: one block fits, two do not. The next
+	// block's weights load synchronously between blocks; L3 time is
+	// exposed, locality of the current block improves.
+	TierResidentSingle
+	// TierDoubleBuffered: two blocks fit; the next block prefetches
+	// during compute. L3 traffic costs energy but (by the paper's
+	// accounting) no runtime.
+	TierDoubleBuffered
+	// TierResidentAll: every owned block's weights stay in L2; no
+	// steady-state L3 traffic at all.
+	TierResidentAll
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierStreamed:
+		return "streamed"
+	case TierResidentSingle:
+		return "resident-single"
+	case TierDoubleBuffered:
+		return "double-buffered"
+	case TierResidentAll:
+		return "resident-all"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// OffChipFree reports whether the tier keeps L3 off the runtime
+// critical path.
+func (t Tier) OffChipFree() bool {
+	return t == TierDoubleBuffered || t == TierResidentAll
+}

@@ -1,0 +1,72 @@
+// Package energy implements the paper's analytical energy model:
+//
+//	E_Total = N_C2C·E_C2C + Σ_chips ( P·T_Comp,j
+//	        + N_L3↔L2,j·E_L3↔L2 + N_L2↔L1,j·E_L2↔L1 )
+//
+// with the paper's constants: 100 pJ/B for the MIPI link and for L3
+// accesses, 2 pJ/B for L2 accesses, and 13 mW average cluster power at
+// 500 MHz. Inputs are the byte counters and busy times measured by the
+// performance simulator.
+package energy
+
+import (
+	"fmt"
+
+	"mcudist/internal/hw"
+	"mcudist/internal/perfsim"
+)
+
+// Report itemizes the energy of one forward pass, in joules.
+type Report struct {
+	// Compute is Σ P·T_comp over chips.
+	Compute float64
+	// L3 is off-chip memory transfer energy.
+	L3 float64
+	// L2 is on-chip L2↔L1 transfer energy.
+	L2 float64
+	// C2C is chip-to-chip link energy.
+	C2C float64
+}
+
+// Total returns the summed energy in joules.
+func (r Report) Total() float64 { return r.Compute + r.L3 + r.L2 + r.C2C }
+
+// String formats the report in millijoules.
+func (r Report) String() string {
+	return fmt.Sprintf("compute=%.4f mJ L3=%.4f mJ L2=%.4f mJ C2C=%.4f mJ total=%.4f mJ",
+		r.Compute*1e3, r.L3*1e3, r.L2*1e3, r.C2C*1e3, r.Total()*1e3)
+}
+
+const pJ = 1e-12
+
+// FromResult evaluates the analytical model over a simulation result.
+func FromResult(p hw.Params, res *perfsim.Result) Report {
+	var rep Report
+	for _, st := range res.PerChip {
+		rep.Compute += p.Chip.ClusterPowerW * p.CyclesToSeconds(st.ComputeCycles)
+		rep.L3 += float64(st.L3Bytes) * p.Energy.L3PJPerByte * pJ
+		rep.L2 += float64(st.L2L1Bytes) * p.Energy.L2PJPerByte * pJ
+		rep.C2C += float64(st.C2CSentBytes) * p.Link.EnergyPJPerByte * pJ
+	}
+	return rep
+}
+
+// FromResultIdleAware evaluates the model with every chip powered for
+// the whole inference (P × T_total per chip) instead of the paper's
+// compute-time-only term — the accounting that penalizes
+// parallelization when chips wait on each other.
+func FromResultIdleAware(p hw.Params, res *perfsim.Result) Report {
+	rep := FromResult(p, res)
+	rep.Compute = 0
+	wall := p.CyclesToSeconds(res.TotalCycles)
+	for range res.PerChip {
+		rep.Compute += p.Chip.ClusterPowerW * wall
+	}
+	return rep
+}
+
+// EDP returns the energy-delay product in joule-seconds for a result
+// under the given parameters.
+func EDP(p hw.Params, res *perfsim.Result) float64 {
+	return FromResult(p, res).Total() * p.CyclesToSeconds(res.TotalCycles)
+}

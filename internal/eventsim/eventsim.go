@@ -1,0 +1,230 @@
+// Package eventsim implements a small discrete-event simulation kernel.
+// It stands in for GVSoC, the event-driven platform simulator the paper
+// uses: simulated entities schedule events on a shared virtual clock,
+// and contended resources (DMA engines, serial links) serialize their
+// users in FIFO order.
+//
+// Time is measured in cluster cycles as a float64 so that fractional
+// bandwidth quotients (e.g. 0.5 bytes/cycle) accumulate exactly.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point on the simulated clock, in cycles.
+type Time = float64
+
+// Event is a callback scheduled to run at a simulated time.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among simultaneous events
+	call func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine owns the event queue and the simulated clock.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	events uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.events }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it indicates a causality bug in the model.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("eventsim: non-finite event time %v", t))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, call: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Run executes events until the queue is empty and returns the final
+// simulated time.
+func (e *Engine) Run() Time {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.events++
+		ev.call()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving later
+// events queued, and advances the clock to min(deadline, last event).
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.events++
+		ev.call()
+	}
+	if e.now < deadline && len(e.queue) > 0 {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Resource is a FIFO-served exclusive device (a DMA engine, a link
+// endpoint, a compute cluster). Acquire queues a usage of a given
+// duration; done fires when the usage completes. Busy time is
+// accumulated for utilization accounting.
+type Resource struct {
+	eng       *Engine
+	name      string
+	freeAt    Time
+	busy      Time
+	uses      uint64
+	lastStart Time
+}
+
+// NewResource creates a resource bound to an engine.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Use occupies the resource for duration cycles starting no earlier
+// than now, queuing FIFO behind earlier users. It returns the
+// completion time and invokes done (if non-nil) at that time.
+func (r *Resource) Use(duration Time, done func(start, end Time)) Time {
+	if duration < 0 {
+		panic(fmt.Sprintf("eventsim: negative use duration %v on %s", duration, r.name))
+	}
+	start := r.freeAt
+	if now := r.eng.Now(); start < now {
+		start = now
+	}
+	end := start + duration
+	r.freeAt = end
+	r.busy += duration
+	r.uses++
+	r.lastStart = start
+	if done != nil {
+		r.eng.At(end, func() { done(start, end) })
+	}
+	return end
+}
+
+// UseAfter is like Use but the usage cannot start before ready.
+func (r *Resource) UseAfter(ready Time, duration Time, done func(start, end Time)) Time {
+	if duration < 0 {
+		panic(fmt.Sprintf("eventsim: negative use duration %v on %s", duration, r.name))
+	}
+	start := r.freeAt
+	if start < ready {
+		start = ready
+	}
+	if now := r.eng.Now(); start < now {
+		start = now
+	}
+	end := start + duration
+	r.freeAt = end
+	r.busy += duration
+	r.uses++
+	r.lastStart = start
+	if done != nil {
+		r.eng.At(end, func() { done(start, end) })
+	}
+	return end
+}
+
+// FreeAt returns the earliest time a new usage could start.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// BusyTime returns the cumulative occupied cycles.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// Uses returns the number of completed or queued usages.
+func (r *Resource) Uses() uint64 { return r.uses }
+
+// Barrier synchronizes n parties: each party calls Arrive with its own
+// ready time; when all have arrived, the release callback fires at the
+// maximum arrival time.
+type Barrier struct {
+	eng     *Engine
+	need    int
+	arrived int
+	latest  Time
+	release func(at Time)
+	done    bool
+}
+
+// NewBarrier creates a barrier for n parties. release fires exactly
+// once, at the latest arrival time.
+func NewBarrier(eng *Engine, n int, release func(at Time)) *Barrier {
+	if n <= 0 {
+		panic("eventsim: barrier needs at least one party")
+	}
+	return &Barrier{eng: eng, need: n, release: release}
+}
+
+// Arrive registers one party as ready at time t.
+func (b *Barrier) Arrive(t Time) {
+	if b.done {
+		panic("eventsim: arrival after barrier release")
+	}
+	if t > b.latest {
+		b.latest = t
+	}
+	b.arrived++
+	if b.arrived == b.need {
+		b.done = true
+		at := b.latest
+		b.eng.At(at, func() { b.release(at) })
+	}
+}
+
+// Arrived returns how many parties have arrived so far.
+func (b *Barrier) Arrived() int { return b.arrived }

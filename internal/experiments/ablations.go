@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mcudist/internal/core"
+	"mcudist/internal/deploy"
+	"mcudist/internal/hw"
+	"mcudist/internal/model"
+)
+
+// AblationRow is one configuration of an ablation sweep.
+type AblationRow struct {
+	Label    string
+	Chips    int
+	Cycles   float64
+	C2CBytes int64
+	EnergyMJ float64
+}
+
+// AblationReduceTopology compares the paper's hierarchical groups-of-4
+// reduction against a flat all-to-one reduce at scale — the design
+// choice Fig. 1 motivates ("an all-to-one reduce operation lacks the
+// required scalability").
+func AblationReduceTopology() ([]AblationRow, error) {
+	wl := core.Workload{Model: model.TinyLlamaScaled64(), Mode: model.Prompt}
+	var rows []AblationRow
+	for _, n := range []int{16, 32, 64} {
+		for _, flat := range []bool{false, true} {
+			sys := core.DefaultSystem(n)
+			label := "hierarchical-4"
+			if flat {
+				sys.HW.GroupSize = n // one flat group: all-to-one
+				label = "flat-all-to-one"
+			}
+			r, err := core.Run(sys, wl)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Label: label, Chips: n, Cycles: r.Cycles,
+				C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationGroupSize sweeps the reduction-tree arity at 64 chips.
+func AblationGroupSize() ([]AblationRow, error) {
+	wl := core.Workload{Model: model.TinyLlamaScaled64(), Mode: model.Prompt}
+	var rows []AblationRow
+	for _, g := range []int{2, 4, 8, 16} {
+		sys := core.DefaultSystem(64)
+		sys.HW.GroupSize = g
+		r, err := core.Run(sys, wl)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label: fmt.Sprintf("group-%d", g), Chips: 64, Cycles: r.Cycles,
+			C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
+		})
+	}
+	return rows, nil
+}
+
+// AblationReducePrecision compares the deployed int8 partial exchange
+// against int16 (accuracy middle point, see cmd/verify) and exact
+// int32 accumulator exchange (4× the link traffic).
+func AblationReducePrecision() ([]AblationRow, error) {
+	names := map[int]string{1: "int8", 2: "int16", 4: "int32"}
+	var rows []AblationRow
+	for _, mode := range []model.Mode{model.Autoregressive, model.Prompt} {
+		for _, bytes := range []int{1, 2, 4} {
+			cfg := model.TinyLlama42M()
+			cfg.ReduceBytes = bytes
+			sys := core.DefaultSystem(8)
+			r, err := core.Run(sys, core.Workload{Model: cfg, Mode: mode})
+			if err != nil {
+				return nil, err
+			}
+			label := mode.String() + "-" + names[bytes] + "-exchange"
+			rows = append(rows, AblationRow{
+				Label: label, Chips: 8, Cycles: r.Cycles,
+				C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationPrefetch compares the paper's overlapped double-buffer
+// accounting against charging the prefetch to runtime.
+func AblationPrefetch() ([]AblationRow, error) {
+	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}
+	var rows []AblationRow
+	for _, exposed := range []bool{false, true} {
+		sys := core.DefaultSystem(8)
+		sys.Options = deploy.Options{PrefetchExposed: exposed}
+		r, err := core.Run(sys, wl)
+		if err != nil {
+			return nil, err
+		}
+		label := "prefetch-overlapped"
+		if exposed {
+			label = "prefetch-exposed"
+		}
+		rows = append(rows, AblationRow{
+			Label: label, Chips: 8, Cycles: r.Cycles,
+			C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
+		})
+	}
+	return rows, nil
+}
+
+// AblationActivationSpill isolates the streamed-tier activation-spill
+// model on MobileBERT: with the spill, the single-chip system pays the
+// paper's "intermediate tensors in L3" penalty; without it, the
+// 4-chip speedup loses super-linearity.
+func AblationActivationSpill() ([]AblationRow, error) {
+	wl := core.Workload{Model: model.MobileBERT512(), Mode: model.Prompt}
+	var rows []AblationRow
+	for _, noSpill := range []bool{false, true} {
+		label := "with-spill"
+		if noSpill {
+			label = "no-spill"
+		}
+		for _, n := range []int{1, 4} {
+			sys := core.DefaultSystem(n)
+			sys.Options = deploy.Options{NoActivationSpill: noSpill}
+			r, err := core.Run(sys, wl)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Label: label, Chips: n, Cycles: r.Cycles,
+				C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationDegradedLink injects a single degraded link (quarter-rate,
+// e.g. a PHY renegotiation) and measures the whole-system impact at 8
+// chips, prompt mode. Degrading a leaf chip stretches only its branch;
+// degrading the root chip throttles every collective.
+func AblationDegradedLink() ([]AblationRow, error) {
+	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Prompt}
+	configs := []struct {
+		label  string
+		chip   int
+		factor float64
+	}{
+		{"healthy", 0, 0},
+		{"leaf-chip7-quarter-rate", 7, 0.25},
+		{"root-chip0-quarter-rate", 0, 0.25},
+	}
+	var rows []AblationRow
+	for _, c := range configs {
+		sys := core.DefaultSystem(8)
+		sys.Options = deploy.Options{DegradedLinkFactor: c.factor, DegradedLinkChip: c.chip}
+		r, err := core.Run(sys, wl)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label: c.label, Chips: 8, Cycles: r.Cycles,
+			C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
+		})
+	}
+	return rows, nil
+}
+
+// AblationStraggler throttles one chip's cluster to half speed
+// (thermal throttling / process variation). Under tensor parallelism
+// every one of the 2L synchronizations waits for the straggler, so a
+// single slow chip drags the whole system — the flip side of the
+// scheme's tight coupling.
+func AblationStraggler() ([]AblationRow, error) {
+	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Prompt}
+	var rows []AblationRow
+	for _, f := range []float64{0, 0.75, 0.5, 0.25} {
+		sys := core.DefaultSystem(8)
+		label := "healthy"
+		if f > 0 {
+			sys.Options = deploy.Options{StragglerFactor: f, StragglerChip: 3}
+			label = fmt.Sprintf("chip3-at-%.0f%%-speed", f*100)
+		}
+		r, err := core.Run(sys, wl)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label: label, Chips: 8, Cycles: r.Cycles,
+			C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
+		})
+	}
+	return rows, nil
+}
+
+// AblationLinkBandwidth sweeps the MIPI link bandwidth at 8 chips,
+// prompt mode, where the collective payloads are largest.
+func AblationLinkBandwidth() ([]AblationRow, error) {
+	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Prompt}
+	var rows []AblationRow
+	for _, scale := range []float64{0.5, 1, 2, 4} {
+		sys := core.DefaultSystem(8)
+		sys.HW.Link.BandwidthBytesPerSec = hw.Siracusa().Link.BandwidthBytesPerSec * scale
+		r, err := core.Run(sys, wl)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label: fmt.Sprintf("link-x%g", scale), Chips: 8, Cycles: r.Cycles,
+			C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import "testing"
+
+func TestExtensionFullGrid(t *testing.T) {
+	rows, err := ExtensionFullGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	// The full grid exposes the crossover at 5 chips — inside the
+	// paper's 4-to-8 gap.
+	byChips := map[int]GridRow{}
+	for _, r := range rows {
+		byChips[r.Chips] = r
+	}
+	if byChips[4].Tier == "double-buffered" {
+		t.Error("4 chips should not be off-chip free")
+	}
+	if byChips[5].Tier != "double-buffered" {
+		t.Errorf("5 chips tier %s, want double-buffered", byChips[5].Tier)
+	}
+	if byChips[5].Speedup <= 5 {
+		t.Errorf("5-chip speedup %g should already be super-linear", byChips[5].Speedup)
+	}
+	// Monotone non-increasing runtime with more chips.
+	for n := 2; n <= 8; n++ {
+		if byChips[n].Cycles > byChips[n-1].Cycles {
+			t.Errorf("runtime grew from %d to %d chips", n-1, n)
+		}
+	}
+}
+
+func TestExtensionSeqLenStudy(t *testing.T) {
+	rows, err := ExtensionSeqLenStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Short prompts are more memory-bound than long ones.
+	first, last := rows[0], rows[len(rows)-1]
+	if first.L3Share1 <= last.L3Share1 {
+		t.Errorf("L3 share did not fall with prompt length: %g -> %g", first.L3Share1, last.L3Share1)
+	}
+	// Speedup falls toward the linear regime as compute dominates.
+	if first.Speedup8 <= last.Speedup8 {
+		t.Errorf("speedup did not fall with prompt length: %g -> %g", first.Speedup8, last.Speedup8)
+	}
+	// All speedups stay positive and bounded.
+	for _, r := range rows {
+		if r.Speedup8 <= 1 || r.Speedup8 > 64 {
+			t.Errorf("S=%d: speedup %g out of range", r.SeqLen, r.Speedup8)
+		}
+	}
+}
+
+func TestExtensionContextStudy(t *testing.T) {
+	rows, err := ExtensionContextStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-token cost grows monotonically with context (KV reads).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].CyclesPer8 <= rows[i-1].CyclesPer8 {
+			t.Errorf("context %d not slower than %d", rows[i].Context, rows[i-1].Context)
+		}
+	}
+	// The short-context points keep the double-buffered tier.
+	if rows[0].Tier != "double-buffered" {
+		t.Errorf("context 32 tier %s", rows[0].Tier)
+	}
+}
+
+func TestExtensionBatchingStudy(t *testing.T) {
+	rows, err := ExtensionBatchingStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBatch := map[int]BatchRow{}
+	for _, r := range rows {
+		byBatch[r.Batch] = r
+	}
+	b1, b16 := byBatch[1], byBatch[16]
+	// Batch 1 (the edge reality): ours wins on BOTH latency and
+	// throughput — the paper's argument.
+	if b1.OursLatencyCycles >= b1.PipeLastLatency {
+		t.Errorf("batch 1: ours %g not faster than pipeline %g", b1.OursLatencyCycles, b1.PipeLastLatency)
+	}
+	if b1.OursThroughput <= b1.PipeThroughput {
+		t.Error("batch 1: ours should also win throughput")
+	}
+	// Large batches: pipeline throughput recovers substantially.
+	if b16.PipeThroughput <= 2*b1.PipeThroughput {
+		t.Errorf("batch 16 pipeline throughput %g did not recover from %g", b16.PipeThroughput, b1.PipeThroughput)
+	}
+	// Our latency is batch-independent.
+	if b1.OursLatencyCycles != b16.OursLatencyCycles {
+		t.Error("tensor-parallel latency should be batch-independent")
+	}
+}
+
+func TestExtensionCollectiveStudy(t *testing.T) {
+	rows, err := ExtensionCollectiveStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(chips int, payload int64) CollectiveRow {
+		for _, r := range rows {
+			if r.Chips == chips && r.Payload == payload {
+				return r
+			}
+		}
+		t.Fatalf("missing row %d/%d", chips, payload)
+		return CollectiveRow{}
+	}
+	// At 8 chips the bandwidth-optimal ring edges out the tree even
+	// for small payloads, and wins decisively for encoder-scale ones
+	// — an optimization the paper leaves on the table.
+	small := find(8, 512)
+	if small.RingCycles >= small.TreeCycles {
+		t.Errorf("8 chips/512 B: ring %g should edge out tree %g", small.RingCycles, small.TreeCycles)
+	}
+	big := find(8, 1<<20)
+	if big.RingCycles >= big.TreeCycles/1.5 {
+		t.Errorf("8 chips/1 MiB: ring %g should clearly beat tree %g", big.RingCycles, big.TreeCycles)
+	}
+	// The tree's advantage appears at scale for small payloads: at 64
+	// chips the ring's 126 per-step setups dominate, the tree's
+	// logarithmic depth wins — the regime the paper's autoregressive
+	// scalability study lives in.
+	small64 := find(64, 512)
+	if small64.TreeCycles >= small64.RingCycles {
+		t.Errorf("64 chips/512 B: tree %g should beat ring %g", small64.TreeCycles, small64.RingCycles)
+	}
+}
+
+func TestExtensionLMHeadStudy(t *testing.T) {
+	rows, err := ExtensionLMHeadStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	one, eight := rows[0], rows[1]
+	if one.Chips != 1 || eight.Chips != 8 {
+		t.Fatal("unexpected chip counts")
+	}
+	// At 8 chips the blocks are off-chip-free but the head still
+	// streams: it must dominate the per-token cost.
+	if eight.HeadShare < 0.5 {
+		t.Errorf("8-chip head share %g; streaming the 16 MiB head should dominate", eight.HeadShare)
+	}
+	// Head streaming splits across chips: 8-chip head is cheaper.
+	if eight.HeadCycles >= one.HeadCycles {
+		t.Error("vocab split did not reduce head cost")
+	}
+	if one.HeadShare <= 0 || one.HeadShare >= 1 {
+		t.Errorf("1-chip head share %g out of range", one.HeadShare)
+	}
+}
+
+func TestExtensionGQAStudy(t *testing.T) {
+	rows, err := ExtensionGQAStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	gqa, mha := rows[0], rows[1]
+	if gqa.KVCacheBytes*3 != mha.KVCacheBytes {
+		t.Errorf("GQA KV cache %d should be 1/3 of MHA %d", gqa.KVCacheBytes, mha.KVCacheBytes)
+	}
+	if gqa.BlockWeightMiB >= mha.BlockWeightMiB {
+		t.Error("GQA should shrink block weights")
+	}
+	if gqa.MaxChips != 3 || mha.MaxChips != 9 {
+		t.Errorf("chip ceilings %d/%d, want 3/9", gqa.MaxChips, mha.MaxChips)
+	}
+	// The study's finding: GQA saves memory but caps head
+	// parallelism — SmolLM's 3.4 MiB blocks can never double-buffer
+	// across only 3 chips, while the MHA variant reaches the
+	// off-chip-free tier at 9.
+	if gqa.MinChipsNoL3 != 0 {
+		t.Errorf("GQA variant reached off-chip free at %d chips; ceiling should prevent it", gqa.MinChipsNoL3)
+	}
+	if mha.MinChipsNoL3 != 9 {
+		t.Errorf("MHA variant min chips %d, want 9", mha.MinChipsNoL3)
+	}
+	if mha.LatencyMSAtBest >= gqa.LatencyMSAtBest {
+		t.Error("MHA at its ceiling should be faster than GQA at its ceiling")
+	}
+}

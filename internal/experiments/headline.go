@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"mcudist/internal/core"
+	"mcudist/internal/model"
+	"mcudist/internal/partition"
+)
+
+// Headline collects the paper's abstract-level claims next to our
+// measured values.
+type Headline struct {
+	// TinyLlama autoregressive, 8 chips vs 1 (paper: 26.1×).
+	ARSpeedup8 float64
+	// Energy per inference at 8 chips in mJ (paper: 0.64 mJ).
+	AREnergy8MJ float64
+	// Latency per inference at 8 chips in ms (paper: 0.54 ms).
+	ARLatency8MS float64
+	// EDP improvement 8 chips vs 1 (paper: 27.2×).
+	AREDPImprovement float64
+	// Energy ratio 8 chips / 1 chip (paper: "similar").
+	AREnergyRatio float64
+	// TinyLlama prompt mode speedup at 8 chips (paper: 9.9×).
+	PromptSpeedup8 float64
+	// MobileBERT speedup at 4 chips (paper: 4.7×).
+	MobileBERTSpeedup4 float64
+	// Scaled-up model speedup at 64 chips (paper: 60.1×).
+	ScaledSpeedup64 float64
+	// Scaled-up energy reduction at 64 chips vs 1 (paper: 1.3×).
+	ScaledEnergyReduction64 float64
+	// Synchronizations per transformer block (paper: 2).
+	SyncsPerBlock int
+	// Weight replication factor of the partitioning (paper: none).
+	ReplicationFactor float64
+}
+
+// RunHeadline measures every abstract-level metric.
+func RunHeadline() (*Headline, error) {
+	h := &Headline{}
+
+	ll := core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}
+	ar, err := core.Sweep(core.DefaultSystem(1), ll, []int{1, 8})
+	if err != nil {
+		return nil, err
+	}
+	h.ARSpeedup8 = core.Speedup(ar[0], ar[1])
+	h.AREnergy8MJ = ar[1].Energy.Total() * 1e3
+	h.ARLatency8MS = ar[1].Seconds * 1e3
+	h.AREDPImprovement = ar[0].EDP / ar[1].EDP
+	h.AREnergyRatio = ar[1].Energy.Total() / ar[0].Energy.Total()
+	h.SyncsPerBlock = ar[1].Syncs / ll.Model.L
+
+	pr, err := core.Sweep(core.DefaultSystem(1),
+		core.Workload{Model: model.TinyLlama42M(), Mode: model.Prompt}, []int{1, 8})
+	if err != nil {
+		return nil, err
+	}
+	h.PromptSpeedup8 = core.Speedup(pr[0], pr[1])
+
+	mb, err := core.Sweep(core.DefaultSystem(1),
+		core.Workload{Model: model.MobileBERT512(), Mode: model.Prompt}, []int{1, 4})
+	if err != nil {
+		return nil, err
+	}
+	h.MobileBERTSpeedup4 = core.Speedup(mb[0], mb[1])
+
+	sc, err := core.Sweep(core.DefaultSystem(1),
+		core.Workload{Model: model.TinyLlamaScaled64(), Mode: model.Autoregressive}, []int{1, 64})
+	if err != nil {
+		return nil, err
+	}
+	h.ScaledSpeedup64 = core.Speedup(sc[0], sc[1])
+	h.ScaledEnergyReduction64 = sc[0].Energy.Total() / sc[1].Energy.Total()
+
+	plan, err := partition.NewTensorParallel(model.TinyLlama42M(), 8)
+	if err != nil {
+		return nil, err
+	}
+	h.ReplicationFactor = plan.ReplicationFactor()
+	return h, nil
+}
+
+// PaperHeadline returns the values the paper reports, for side-by-side
+// presentation.
+func PaperHeadline() Headline {
+	return Headline{
+		ARSpeedup8:              26.1,
+		AREnergy8MJ:             0.64,
+		ARLatency8MS:            0.54,
+		AREDPImprovement:        27.2,
+		AREnergyRatio:           1.0,
+		PromptSpeedup8:          9.9,
+		MobileBERTSpeedup4:      4.7,
+		ScaledSpeedup64:         60.1,
+		ScaledEnergyReduction64: 1.3,
+		SyncsPerBlock:           2,
+		ReplicationFactor:       1.0,
+	}
+}

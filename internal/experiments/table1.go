@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"mcudist/internal/core"
+	"mcudist/internal/model"
+	"mcudist/internal/partition"
+)
+
+// Table1Row compares one partitioning strategy, combining the paper's
+// qualitative Table I attributes with measured numbers on the same
+// workload (TinyLlama, 8 chips).
+type Table1Row struct {
+	Work              string
+	Strategy          partition.Strategy
+	Pipelining        bool
+	WeightDuplication bool
+	// Measured on TinyLlama with 8 chips:
+	ARCycles, PromptCycles   float64
+	ARSpeedup, PromptSpeedup float64
+	EnergyARMJ               float64
+}
+
+// Table1 reproduces the comparison of partitioning approaches. The
+// datacenter rows of the paper's table have no MCU equivalent; the
+// three edge-feasible schemes are compared quantitatively.
+func Table1() ([]Table1Row, error) {
+	cfg := model.TinyLlama42M()
+	arWL := core.Workload{Model: cfg, Mode: model.Autoregressive}
+	prWL := core.Workload{Model: cfg, Mode: model.Prompt}
+
+	baseAR, err := core.Run(core.DefaultSystem(1), arWL)
+	if err != nil {
+		return nil, err
+	}
+	basePR, err := core.Run(core.DefaultSystem(1), prWL)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := []Table1Row{
+		{Work: "When the Edge Meets Transformers [21]", Strategy: partition.Replicated,
+			Pipelining: false, WeightDuplication: true},
+		{Work: "PipeEdge/Hermes [31,22]", Strategy: partition.Pipeline,
+			Pipelining: true, WeightDuplication: false},
+		{Work: "Ours (tensor-parallel)", Strategy: partition.TensorParallel,
+			Pipelining: false, WeightDuplication: false},
+	}
+	for i := range rows {
+		sys := core.DefaultSystem(8)
+		sys.Strategy = rows[i].Strategy
+		ar, err := core.Run(sys, arWL)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := core.Run(sys, prWL)
+		if err != nil {
+			return nil, err
+		}
+		rows[i].ARCycles = ar.Cycles
+		rows[i].PromptCycles = pr.Cycles
+		rows[i].ARSpeedup = core.Speedup(baseAR, ar)
+		rows[i].PromptSpeedup = core.Speedup(basePR, pr)
+		rows[i].EnergyARMJ = ar.Energy.Total() * 1e3
+	}
+	return rows, nil
+}

@@ -1,0 +1,156 @@
+// Package explore is a design-space exploration layer on top of the
+// simulator: given a model and a workload, it answers the sizing
+// questions the paper's scheme raises in practice — how many chips
+// until off-chip traffic leaves the critical path, which chip counts
+// are even legal for a geometry, and which configurations are
+// Pareto-optimal in latency and energy.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"mcudist/internal/core"
+	"mcudist/internal/model"
+)
+
+// Point is one evaluated configuration.
+type Point struct {
+	Chips  int
+	Report *core.Report
+	// Pareto marks latency/energy Pareto-optimal points within the
+	// explored set.
+	Pareto bool
+}
+
+// LegalChipCounts returns the chip counts the tensor-parallel plan
+// accepts for cfg, up to max: every count from 1 to
+// min(max, KVHeadCount, F).
+func LegalChipCounts(cfg model.Config, max int) []int {
+	limit := cfg.KVHeadCount()
+	if cfg.F < limit {
+		limit = cfg.F
+	}
+	if max < limit {
+		limit = max
+	}
+	var out []int
+	for n := 1; n <= limit; n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
+// PowersOfTwo filters counts to powers of two (the paper's sweep
+// shape), always keeping 1.
+func PowersOfTwo(counts []int) []int {
+	var out []int
+	for _, n := range counts {
+		if n&(n-1) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// MinChipsOffChipFree returns the smallest chip count (≤ maxChips)
+// whose deployment keeps L3 off the runtime critical path, together
+// with its report. It returns an error if no configuration qualifies.
+func MinChipsOffChipFree(base core.System, wl core.Workload, maxChips int) (*Point, error) {
+	for _, n := range LegalChipCounts(wl.Model, maxChips) {
+		sys := base
+		sys.Chips = n
+		rep, err := core.Run(sys, wl)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Tier.OffChipFree() {
+			return &Point{Chips: n, Report: rep}, nil
+		}
+	}
+	return nil, fmt.Errorf("explore: no configuration up to %d chips runs %s off-chip free",
+		maxChips, wl.Model.Name)
+}
+
+// Frontier evaluates the workload at the given chip counts and marks
+// the latency/energy Pareto front.
+func Frontier(base core.System, wl core.Workload, chips []int) ([]Point, error) {
+	points := make([]Point, 0, len(chips))
+	for _, n := range chips {
+		sys := base
+		sys.Chips = n
+		rep, err := core.Run(sys, wl)
+		if err != nil {
+			return nil, fmt.Errorf("explore: %d chips: %w", n, err)
+		}
+		points = append(points, Point{Chips: n, Report: rep})
+	}
+	markPareto(points)
+	return points, nil
+}
+
+// markPareto flags points not dominated in (latency, energy).
+func markPareto(points []Point) {
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			betterOrEqual := points[j].Report.Seconds <= points[i].Report.Seconds &&
+				points[j].Report.Energy.Total() <= points[i].Report.Energy.Total()
+			strictlyBetter := points[j].Report.Seconds < points[i].Report.Seconds ||
+				points[j].Report.Energy.Total() < points[i].Report.Energy.Total()
+			if betterOrEqual && strictlyBetter {
+				dominated = true
+				break
+			}
+		}
+		points[i].Pareto = !dominated
+	}
+}
+
+// ParetoFront returns only the Pareto-optimal points, ordered by
+// latency.
+func ParetoFront(points []Point) []Point {
+	var out []Point
+	for _, p := range points {
+		if p.Pareto {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Report.Seconds < out[j].Report.Seconds
+	})
+	return out
+}
+
+// BudgetFit returns the cheapest (fewest-chip) configuration meeting
+// both a latency and an energy budget, or an error naming the binding
+// constraint.
+func BudgetFit(base core.System, wl core.Workload, maxChips int, maxSeconds, maxJoules float64) (*Point, error) {
+	var bestLatency, bestEnergy float64
+	first := true
+	for _, n := range LegalChipCounts(wl.Model, maxChips) {
+		sys := base
+		sys.Chips = n
+		rep, err := core.Run(sys, wl)
+		if err != nil {
+			return nil, err
+		}
+		if first || rep.Seconds < bestLatency {
+			bestLatency = rep.Seconds
+		}
+		if first || rep.Energy.Total() < bestEnergy {
+			bestEnergy = rep.Energy.Total()
+		}
+		first = false
+		if rep.Seconds <= maxSeconds && rep.Energy.Total() <= maxJoules {
+			return &Point{Chips: n, Report: rep}, nil
+		}
+	}
+	if bestLatency > maxSeconds {
+		return nil, fmt.Errorf("explore: latency budget %.3g s unreachable (best %.3g s)", maxSeconds, bestLatency)
+	}
+	return nil, fmt.Errorf("explore: energy budget %.3g J unreachable (best %.3g J)", maxJoules, bestEnergy)
+}

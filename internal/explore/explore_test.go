@@ -1,0 +1,142 @@
+package explore
+
+import (
+	"testing"
+
+	"mcudist/internal/core"
+	"mcudist/internal/model"
+)
+
+func TestLegalChipCounts(t *testing.T) {
+	cfg := model.TinyLlama42M() // 8 heads
+	counts := LegalChipCounts(cfg, 100)
+	if len(counts) != 8 || counts[0] != 1 || counts[7] != 8 {
+		t.Fatalf("counts = %v", counts)
+	}
+	counts = LegalChipCounts(cfg, 4)
+	if len(counts) != 4 {
+		t.Fatalf("capped counts = %v", counts)
+	}
+	gqa := model.SmolLM135M() // 3 KV heads
+	counts = LegalChipCounts(gqa, 100)
+	if len(counts) != 3 {
+		t.Fatalf("GQA counts = %v, want 1..3", counts)
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo([]int{1, 2, 3, 4, 5, 6, 7, 8})
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMinChipsOffChipFree(t *testing.T) {
+	// The paper sweeps powers of two and reports the crossover at 8
+	// chips; exploring every chip count shows TinyLlama already
+	// double-buffers at 5 (uneven head split, 1.6 heads/chip worth of
+	// weights) — a finding the power-of-two grid hides.
+	pt, err := MinChipsOffChipFree(core.DefaultSystem(1),
+		core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Chips != 5 {
+		t.Fatalf("min chips = %d, want 5", pt.Chips)
+	}
+	if !pt.Report.Tier.OffChipFree() {
+		t.Fatal("returned point is not off-chip free")
+	}
+	// MobileBERT crosses at 4 even over the full grid (3 chips leave
+	// a 512 KiB slice that cannot double-buffer).
+	pt, err = MinChipsOffChipFree(core.DefaultSystem(1),
+		core.Workload{Model: model.MobileBERT512(), Mode: model.Prompt}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Chips != 4 {
+		t.Fatalf("MobileBERT min chips = %d, want 4", pt.Chips)
+	}
+}
+
+func TestMinChipsUnreachable(t *testing.T) {
+	// TinyLlama cannot go off-chip free with at most 4 chips.
+	_, err := MinChipsOffChipFree(core.DefaultSystem(1),
+		core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}, 4)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+}
+
+func TestFrontierAndPareto(t *testing.T) {
+	points, err := Frontier(core.DefaultSystem(1),
+		core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive},
+		[]int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// 8 chips dominates on latency and roughly ties on energy — it
+	// must be on the front; 1 chip is dominated by 8 (slower AND not
+	// cheaper).
+	var p1, p8 *Point
+	for i := range points {
+		switch points[i].Chips {
+		case 1:
+			p1 = &points[i]
+		case 8:
+			p8 = &points[i]
+		}
+	}
+	if !p8.Pareto {
+		t.Fatal("8-chip point should be Pareto-optimal")
+	}
+	if p1.Pareto {
+		t.Fatal("1-chip point should be dominated (slower and more energy)")
+	}
+	front := ParetoFront(points)
+	if len(front) == 0 || len(front) > 4 {
+		t.Fatalf("front size %d", len(front))
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Report.Seconds < front[i-1].Report.Seconds {
+			t.Fatal("front not sorted by latency")
+		}
+	}
+}
+
+func TestBudgetFit(t *testing.T) {
+	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}
+	// Generous budgets: smallest qualifying count wins.
+	pt, err := BudgetFit(core.DefaultSystem(1), wl, 8, 1.0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Chips != 1 {
+		t.Fatalf("generous budget picked %d chips, want 1", pt.Chips)
+	}
+	// Tight latency budget (1 ms) forces the 8-chip system.
+	pt, err = BudgetFit(core.DefaultSystem(1), wl, 8, 1e-3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Chips != 8 {
+		t.Fatalf("tight budget picked %d chips, want 8", pt.Chips)
+	}
+	// Impossible latency budget names the constraint.
+	if _, err := BudgetFit(core.DefaultSystem(1), wl, 8, 1e-9, 1.0); err == nil {
+		t.Fatal("impossible latency budget accepted")
+	}
+	// Impossible energy budget.
+	if _, err := BudgetFit(core.DefaultSystem(1), wl, 8, 1.0, 1e-9); err == nil {
+		t.Fatal("impossible energy budget accepted")
+	}
+}

@@ -1,0 +1,199 @@
+// Package hw defines the hardware parameter sets used across the
+// simulator: the Siracusa-like MCU (compute cluster, memory hierarchy,
+// DMA engines), the MIPI chip-to-chip link, and the energy constants of
+// the paper's analytical model.
+//
+// All simulator and energy-model packages consume these parameters
+// instead of hard-coding constants, so alternative platforms can be
+// modeled by constructing a different Params value.
+package hw
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Byte-size helpers.
+const (
+	KiB = 1024
+	MiB = 1024 * KiB
+)
+
+// Chip describes a single Siracusa-like MCU: an octa-core RISC-V
+// compute cluster with a two-level scratchpad hierarchy (L1 TCDM, L2)
+// and off-chip L3 memory reached through an I/O DMA.
+type Chip struct {
+	// Cores is the number of RISC-V cores in the compute cluster.
+	Cores int
+	// FreqHz is the cluster clock frequency in Hz.
+	FreqHz float64
+
+	// MACsPerCorePerCycle is the peak int8 multiply-accumulate
+	// throughput of one core (XpulpNN-class SIMD dot product).
+	MACsPerCorePerCycle int
+
+	// L1Bytes is the size of the tightly coupled L1 scratchpad.
+	L1Bytes int
+	// L1Banks is the number of interleaved L1 memory banks; the
+	// logarithmic interconnect grants one 32-bit port per core.
+	L1Banks int
+	// L2Bytes is the size of the on-chip L2 scratchpad.
+	L2Bytes int
+	// L2ReserveBytes is L2 capacity reserved for the runtime: code,
+	// stacks, I/O staging. It is unavailable to the deployment
+	// planner.
+	L2ReserveBytes int
+	// L3Bytes is the size of the off-chip memory private to the chip.
+	L3Bytes int
+
+	// DMAL2L1BytesPerCycle is the cluster DMA bandwidth between L2
+	// and L1 (64-bit AXI port at cluster frequency).
+	DMAL2L1BytesPerCycle float64
+	// DMAL2L1SetupCycles is the fixed cost of programming one cluster
+	// DMA transfer.
+	DMAL2L1SetupCycles int
+	// DMAL3L2BytesPerCycle is the I/O DMA bandwidth between off-chip
+	// L3 and L2.
+	DMAL3L2BytesPerCycle float64
+	// DMAL3L2SetupCycles is the fixed cost of one L3 burst.
+	DMAL3L2SetupCycles int
+
+	// KernelSetupCycles is the fixed software cost of launching one
+	// kernel on the cluster (dispatch + barrier).
+	KernelSetupCycles int
+	// ClusterPowerW is the average active power of the compute
+	// cluster. The Siracusa paper reports 13 mW average core power at
+	// 500 MHz; the analytical model charges this power for every
+	// cycle a chip is busy.
+	ClusterPowerW float64
+}
+
+// Link describes the chip-to-chip serial interface (MIPI in the paper).
+type Link struct {
+	// BandwidthBytesPerSec is the usable payload bandwidth.
+	BandwidthBytesPerSec float64
+	// SetupCycles is the fixed per-transfer cost (packetization,
+	// handshake) expressed in cluster cycles.
+	SetupCycles int
+	// EnergyPJPerByte is the transfer energy per payload byte.
+	EnergyPJPerByte float64
+}
+
+// Energy holds the constants of the paper's analytical energy model.
+type Energy struct {
+	// L3PJPerByte is the energy of moving one byte between L3 and L2.
+	L3PJPerByte float64
+	// L2PJPerByte is the energy of moving one byte between L2 and L1.
+	L2PJPerByte float64
+}
+
+// Params is the complete hardware description of the multi-chip system.
+type Params struct {
+	Chip   Chip
+	Link   Link
+	Energy Energy
+	// GroupSize is the fan-in of the hierarchical all-reduce tree
+	// (the paper uses groups of four chips).
+	GroupSize int
+}
+
+// Siracusa returns the default parameter set modeling the system of the
+// paper: Siracusa MCUs (8 RV32 cores at 500 MHz, 256 KiB L1, 2 MiB L2)
+// joined by MIPI links (0.5 GB/s, 100 pJ/B), 100 pJ/B L3 and 2 pJ/B L2
+// access energy, hierarchical reduction in groups of four.
+func Siracusa() Params {
+	return Params{
+		Chip: Chip{
+			Cores:                8,
+			FreqHz:               500e6,
+			MACsPerCorePerCycle:  8,
+			L1Bytes:              256 * KiB,
+			L1Banks:              16,
+			L2Bytes:              2 * MiB,
+			L2ReserveBytes:       448 * KiB,
+			L3Bytes:              64 * MiB,
+			DMAL2L1BytesPerCycle: 16,
+			DMAL2L1SetupCycles:   16,
+			DMAL3L2BytesPerCycle: 2.5,
+			DMAL3L2SetupCycles:   64,
+			KernelSetupCycles:    300,
+			ClusterPowerW:        13e-3,
+		},
+		Link: Link{
+			BandwidthBytesPerSec: 0.5e9,
+			SetupCycles:          256,
+			EnergyPJPerByte:      100,
+		},
+		Energy: Energy{
+			L3PJPerByte: 100,
+			L2PJPerByte: 2,
+		},
+		GroupSize: 4,
+	}
+}
+
+// CyclesToSeconds converts cluster cycles to wall-clock seconds.
+func (p Params) CyclesToSeconds(cycles float64) float64 {
+	return cycles / p.Chip.FreqHz
+}
+
+// SecondsToCycles converts wall-clock seconds to cluster cycles.
+func (p Params) SecondsToCycles(sec float64) float64 {
+	return sec * p.Chip.FreqHz
+}
+
+// LinkBytesPerCycle is the link bandwidth expressed in payload bytes
+// per cluster cycle, the unit used by the event simulator.
+func (p Params) LinkBytesPerCycle() float64 {
+	return p.Link.BandwidthBytesPerSec / p.Chip.FreqHz
+}
+
+// UsableL2Bytes is the L2 capacity available to the deployment planner
+// after the runtime reservation.
+func (p Params) UsableL2Bytes() int {
+	return p.Chip.L2Bytes - p.Chip.L2ReserveBytes
+}
+
+// PeakMACsPerCycle is the peak int8 MAC throughput of one chip.
+func (p Params) PeakMACsPerCycle() int {
+	return p.Chip.Cores * p.Chip.MACsPerCorePerCycle
+}
+
+// Validate reports the first structural problem with the parameter
+// set, or nil if it is usable by the simulator.
+func (p Params) Validate() error {
+	c := p.Chip
+	switch {
+	case c.Cores <= 0:
+		return errors.New("hw: chip must have at least one core")
+	case c.FreqHz <= 0:
+		return errors.New("hw: frequency must be positive")
+	case c.MACsPerCorePerCycle <= 0:
+		return errors.New("hw: MAC throughput must be positive")
+	case c.L1Bytes <= 0 || c.L2Bytes <= 0 || c.L3Bytes <= 0:
+		return errors.New("hw: memory sizes must be positive")
+	case c.L2ReserveBytes < 0:
+		return errors.New("hw: L2 reserve must be non-negative")
+	case c.L2ReserveBytes >= c.L2Bytes:
+		return fmt.Errorf("hw: L2 reserve %d consumes entire L2 %d", c.L2ReserveBytes, c.L2Bytes)
+	case c.DMAL2L1BytesPerCycle <= 0 || c.DMAL3L2BytesPerCycle <= 0:
+		return errors.New("hw: DMA bandwidths must be positive")
+	case c.DMAL2L1SetupCycles < 0 || c.DMAL3L2SetupCycles < 0 || c.KernelSetupCycles < 0:
+		return errors.New("hw: setup costs must be non-negative")
+	case c.ClusterPowerW < 0:
+		return errors.New("hw: cluster power must be non-negative")
+	}
+	if p.Link.BandwidthBytesPerSec <= 0 {
+		return errors.New("hw: link bandwidth must be positive")
+	}
+	if p.Link.SetupCycles < 0 || p.Link.EnergyPJPerByte < 0 {
+		return errors.New("hw: link costs must be non-negative")
+	}
+	if p.Energy.L3PJPerByte < 0 || p.Energy.L2PJPerByte < 0 {
+		return errors.New("hw: energy constants must be non-negative")
+	}
+	if p.GroupSize < 2 {
+		return errors.New("hw: reduce group size must be at least 2")
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcudist/internal/hw"
+)
+
+// The closed-form critical path must agree with hand-computed values
+// on small trees.
+func TestCriticalPathHandChecked(t *testing.T) {
+	p := hw.Siracusa() // 1 B/cycle link, 256-cycle setup
+	// Two chips: one reduce hop + one broadcast hop.
+	tr, _ := BuildTree(2, 4)
+	payload := int64(1024)
+	hop := TransferCycles(p, payload) // 1024 + 256 = 1280
+	if got := CriticalPathCycles(tr, p, payload, payload); got != 2*hop {
+		t.Fatalf("2-chip critical path %g, want %g", got, 2*hop)
+	}
+	// Four chips, one group: three serialized receives at the root,
+	// then three serialized sends.
+	tr4, _ := BuildTree(4, 4)
+	got := CriticalPathCycles(tr4, p, payload, payload)
+	want := 3*hop + 3*hop
+	if got != want {
+		t.Fatalf("4-chip critical path %g, want %g", got, want)
+	}
+}
+
+// Property: the hierarchical critical path is never worse than the
+// flat one for the same chip count.
+func TestPropertyHierarchyNeverWorse(t *testing.T) {
+	p := hw.Siracusa()
+	f := func(nRaw uint8, payloadRaw uint16) bool {
+		n := 2 + int(nRaw)%63
+		payload := int64(payloadRaw) + 1
+		flat, err := BuildTree(n, n)
+		if err != nil {
+			return false
+		}
+		hier, err := BuildTree(n, 4)
+		if err != nil {
+			return false
+		}
+		return CriticalPathCycles(hier, p, payload, payload) <=
+			CriticalPathCycles(flat, p, payload, payload)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: critical path grows monotonically with payload.
+func TestPropertyCriticalPathMonotonePayload(t *testing.T) {
+	p := hw.Siracusa()
+	tr, _ := BuildTree(16, 4)
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := int64(aRaw), int64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		return CriticalPathCycles(tr, p, a, a) <= CriticalPathCycles(tr, p, b, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Reduce hop count equals broadcast hop count equals N-1 for all
+// group sizes (no duplicate or missing transfers).
+func TestHopCountInvariant(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 33, 64} {
+		for _, g := range []int{2, 4, 8} {
+			tr, err := BuildTree(n, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tr.ReduceHops()) != n-1 {
+				t.Errorf("n=%d g=%d: %d reduce hops", n, g, len(tr.ReduceHops()))
+			}
+			if len(tr.BroadcastHops()) != n-1 {
+				t.Errorf("n=%d g=%d: %d bcast hops", n, g, len(tr.BroadcastHops()))
+			}
+		}
+	}
+}

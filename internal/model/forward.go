@@ -1,0 +1,205 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"mcudist/internal/tensor"
+)
+
+// KVCache stores per-block key/value projections of already-processed
+// positions, the data structure that makes autoregressive decoding
+// avoid recomputation.
+type KVCache struct {
+	K []*tensor.Mat // per block, rows = cached positions, cols = P
+	V []*tensor.Mat
+}
+
+// NewKVCache returns an empty cache for cfg. With GQA, the cached
+// rows are KVDim wide (one slice per KV head).
+func NewKVCache(cfg Config) *KVCache {
+	c := &KVCache{K: make([]*tensor.Mat, cfg.L), V: make([]*tensor.Mat, cfg.L)}
+	for i := 0; i < cfg.L; i++ {
+		c.K[i] = tensor.New(0, cfg.KVDim())
+		c.V[i] = tensor.New(0, cfg.KVDim())
+	}
+	return c
+}
+
+// Len returns the number of cached positions.
+func (c *KVCache) Len() int {
+	if len(c.K) == 0 {
+		return 0
+	}
+	return c.K[0].Rows
+}
+
+func (c *KVCache) append(block int, k, v *tensor.Mat) {
+	c.K[block] = tensor.ConcatRows(c.K[block], k)
+	c.V[block] = tensor.ConcatRows(c.V[block], v)
+}
+
+// Forward runs the reference prompt-mode forward pass over input x
+// (S×E): causal attention for decoders, bidirectional for encoders.
+// If cache is non-nil (decoders only) the projected keys/values are
+// appended so that generation can continue autoregressively.
+func Forward(w *Weights, x *tensor.Mat, cache *KVCache) *tensor.Mat {
+	cfg := w.Config
+	if x.Cols != cfg.E {
+		panic(fmt.Sprintf("model: input width %d != E %d", x.Cols, cfg.E))
+	}
+	if cache != nil && cache.Len() != 0 {
+		panic("model: prompt forward requires an empty cache")
+	}
+	if cache != nil && cfg.Arch != Decoder {
+		panic("model: KV cache is a decoder feature")
+	}
+	out := x.Clone()
+	startPos := 0
+	for b := 0; b < cfg.L; b++ {
+		out = blockForward(cfg, w.Blocks[b], out, blockCacheRef(cache, b), startPos)
+	}
+	return out
+}
+
+// ForwardStep runs one autoregressive step: x is 1×E (the embedding of
+// the newest token), cache holds all previous positions and is
+// extended in place. Decoders only.
+func ForwardStep(w *Weights, x *tensor.Mat, cache *KVCache) *tensor.Mat {
+	cfg := w.Config
+	if cfg.Arch != Decoder {
+		panic("model: autoregressive mode requires a decoder")
+	}
+	if x.Rows != 1 || x.Cols != cfg.E {
+		panic(fmt.Sprintf("model: step input must be 1x%d, got %dx%d", cfg.E, x.Rows, x.Cols))
+	}
+	if cache == nil {
+		panic("model: autoregressive step requires a cache")
+	}
+	out := x.Clone()
+	startPos := cache.Len()
+	for b := 0; b < cfg.L; b++ {
+		out = blockForward(cfg, w.Blocks[b], out, blockCacheRef(cache, b), startPos)
+	}
+	return out
+}
+
+type cacheRef struct {
+	cache *KVCache
+	block int
+}
+
+func blockCacheRef(c *KVCache, block int) *cacheRef {
+	if c == nil {
+		return nil
+	}
+	return &cacheRef{cache: c, block: block}
+}
+
+// blockForward applies one transformer block. For decoders the block
+// is pre-norm (Llama style); for encoders post-norm (BERT style). In
+// both cases the dataflow matches the paper's Fig. 3: MHSA, residual,
+// norm, FC, residual, norm — with the two residuals merged into what
+// the distributed version realizes as all-reduces.
+func blockForward(cfg Config, bw *BlockWeights, x *tensor.Mat, cr *cacheRef, startPos int) *tensor.Mat {
+	if cfg.Arch == Decoder {
+		h := normalize(cfg, x, bw.Norm1Gain, bw.Norm1Bias)
+		att := attention(cfg, bw, h, cr, startPos)
+		x = tensor.Add(x, att)
+		h2 := normalize(cfg, x, bw.Norm2Gain, bw.Norm2Bias)
+		f := ffn(cfg, bw, h2)
+		return tensor.Add(x, f)
+	}
+	att := attention(cfg, bw, x, cr, startPos)
+	x = normalize(cfg, tensor.Add(x, att), bw.Norm1Gain, bw.Norm1Bias)
+	f := ffn(cfg, bw, x)
+	return normalize(cfg, tensor.Add(x, f), bw.Norm2Gain, bw.Norm2Bias)
+}
+
+func normalize(cfg Config, x *tensor.Mat, gain, bias []float32) *tensor.Mat {
+	if cfg.Norm == LayerNorm {
+		return tensor.LayerNorm(x, gain, bias, cfg.NormEps)
+	}
+	return tensor.RMSNorm(x, gain, cfg.NormEps)
+}
+
+// attention computes multi-head attention for the rows of h. With a
+// cache, new keys/values are appended first and attention runs over
+// the full cached sequence; without one, keys/values come from h
+// itself (causal for decoders in prompt mode).
+func attention(cfg Config, bw *BlockWeights, h *tensor.Mat, cr *cacheRef, startPos int) *tensor.Mat {
+	q := tensor.MatMul(h, bw.WQ)
+	k := tensor.MatMul(h, bw.WK)
+	v := tensor.MatMul(h, bw.WV)
+	addBias(q, bw.BQ)
+	addBias(k, bw.BK)
+	addBias(v, bw.BV)
+
+	if cfg.RoPE {
+		positions := make([]int, h.Rows)
+		for i := range positions {
+			positions[i] = startPos + i
+		}
+		tensor.RoPE(q, cfg.HeadDim(), positions, cfg.RoPETheta)
+		tensor.RoPE(k, cfg.HeadDim(), positions, cfg.RoPETheta)
+	}
+
+	keys, values := k, v
+	if cr != nil {
+		cr.cache.append(cr.block, k, v)
+		keys = cr.cache.K[cr.block]
+		values = cr.cache.V[cr.block]
+	}
+
+	hd := cfg.HeadDim()
+	group := cfg.QueryGroupSize()
+	outHeads := make([]*tensor.Mat, cfg.H)
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	for head := 0; head < cfg.H; head++ {
+		qh := q.SliceCols(head*hd, (head+1)*hd)
+		kvHead := head / group
+		kh := keys.SliceCols(kvHead*hd, (kvHead+1)*hd)
+		vh := values.SliceCols(kvHead*hd, (kvHead+1)*hd)
+		scores := tensor.MatMulT(qh, kh).Scale(scale)
+		if cfg.Arch == Decoder {
+			tensor.CausalMaskedSoftmax(scores, startPos)
+		} else {
+			tensor.Softmax(scores)
+		}
+		outHeads[head] = tensor.MatMul(scores, vh)
+	}
+	att := tensor.MatMul(tensor.ConcatCols(outHeads...), bw.WO)
+	addBias(att, bw.BO)
+	return att
+}
+
+func ffn(cfg Config, bw *BlockWeights, h *tensor.Mat) *tensor.Mat {
+	if cfg.FFN == FFNGated {
+		gate := tensor.SiLU(tensor.MatMul(h, bw.W1))
+		up := tensor.MatMul(h, bw.W3)
+		out := tensor.MatMul(tensor.Mul(gate, up), bw.W2)
+		addBias(out, bw.B2)
+		return out
+	}
+	mid := tensor.MatMul(h, bw.W1)
+	addBias(mid, bw.B1)
+	tensor.GELU(mid)
+	out := tensor.MatMul(mid, bw.W2)
+	addBias(out, bw.B2)
+	return out
+}
+
+func addBias(m *tensor.Mat, bias []float32) {
+	if bias == nil {
+		return
+	}
+	if len(bias) != m.Cols {
+		panic(fmt.Sprintf("model: bias length %d != cols %d", len(bias), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for i := range row {
+			row[i] += bias[i]
+		}
+	}
+}

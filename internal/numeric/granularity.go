@@ -1,0 +1,88 @@
+package numeric
+
+import (
+	"math"
+
+	"mcudist/internal/quant"
+	"mcudist/internal/tensor"
+)
+
+// weight abstracts the quantization granularity of a weight matrix so
+// the distributed engine runs identically over per-tensor and
+// per-channel codes.
+type weight interface {
+	cols(lo, hi int) weight
+	rows(lo, hi int) weight
+	mul(x *quant.QMat) accum
+}
+
+// accum abstracts the matching int32 accumulator.
+type accum interface {
+	add(accum)
+	deq() *tensor.Mat
+	req8(outScale float32) *quant.QMat
+	req16(scale16 float32) []int16
+	dims() (rows, cols int)
+}
+
+// --- per-tensor ---
+
+type ptWeight struct{ m *quant.QMat }
+
+func (w ptWeight) cols(lo, hi int) weight  { return ptWeight{w.m.SliceCols(lo, hi)} }
+func (w ptWeight) rows(lo, hi int) weight  { return ptWeight{w.m.SliceRows(lo, hi)} }
+func (w ptWeight) mul(x *quant.QMat) accum { return ptAcc{quant.MatMulQ(x, w.m)} }
+
+type ptAcc struct{ a *quant.Acc }
+
+func (a ptAcc) add(o accum)                { a.a.AddInPlace(o.(ptAcc).a) }
+func (a ptAcc) deq() *tensor.Mat           { return a.a.Dequantize() }
+func (a ptAcc) req8(s float32) *quant.QMat { return a.a.Requantize(s) }
+func (a ptAcc) dims() (int, int)           { return a.a.Rows, a.a.Cols }
+
+func (a ptAcc) req16(scale16 float32) []int16 {
+	out := make([]int16, len(a.a.Data))
+	ratio := float64(a.a.Scale) / float64(scale16)
+	for i, v := range a.a.Data {
+		out[i] = clamp16(float64(v) * ratio)
+	}
+	return out
+}
+
+// --- per-channel ---
+
+type pcWeight struct{ m *quant.QCMat }
+
+func (w pcWeight) cols(lo, hi int) weight  { return pcWeight{w.m.SliceCols(lo, hi)} }
+func (w pcWeight) rows(lo, hi int) weight  { return pcWeight{w.m.SliceRows(lo, hi)} }
+func (w pcWeight) mul(x *quant.QMat) accum { return pcAcc{quant.MatMulQPC(x, w.m)} }
+
+type pcAcc struct{ a *quant.AccPC }
+
+func (a pcAcc) add(o accum)                { a.a.AddInPlace(o.(pcAcc).a) }
+func (a pcAcc) deq() *tensor.Mat           { return a.a.Dequantize() }
+func (a pcAcc) req8(s float32) *quant.QMat { return a.a.Requantize(s) }
+func (a pcAcc) dims() (int, int)           { return a.a.Rows, a.a.Cols }
+
+func (a pcAcc) req16(scale16 float32) []int16 {
+	out := make([]int16, len(a.a.Data))
+	for r := 0; r < a.a.Rows; r++ {
+		row := a.a.Row(r)
+		for c := range row {
+			ratio := float64(a.a.ActScale) * float64(a.a.WScales[c]) / float64(scale16)
+			out[r*a.a.Cols+c] = clamp16(float64(row[c]) * ratio)
+		}
+	}
+	return out
+}
+
+func clamp16(v float64) int16 {
+	r := math.Round(v)
+	if r > 32767 {
+		return 32767
+	}
+	if r < -32768 {
+		return -32768
+	}
+	return int16(r)
+}

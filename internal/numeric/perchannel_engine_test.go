@@ -1,0 +1,130 @@
+package numeric
+
+import (
+	"testing"
+
+	"mcudist/internal/model"
+	"mcudist/internal/partition"
+	"mcudist/internal/tensor"
+)
+
+// Per-channel weights preserve the core exactness property: the
+// distributed int32-reduce network is bit-identical to the single-chip
+// per-channel network.
+func TestPerChannelInt32ReduceBitExact(t *testing.T) {
+	cfg := testCfg()
+	w := model.NewWeights(cfg, 61)
+	x := tensor.Random(5, cfg.E, 1, 62)
+	cal := Calibrate(w, x)
+
+	p1, _ := partition.NewTensorParallel(cfg, 1)
+	ref, err := NewQuantEngine(w, p1, cal, ReduceInt32, PerChannelWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut := ref.Forward(x)
+
+	for _, n := range []int{2, 4} {
+		p, _ := partition.NewTensorParallel(cfg, n)
+		e, err := NewQuantEngine(w, p, cal, ReduceInt32, PerChannelWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(refOut, e.Forward(x)); d != 0 {
+			t.Errorf("n=%d: per-channel int32-reduce differs by %g", n, d)
+		}
+	}
+}
+
+// Per-channel quantization approximates the float reference at least
+// as well as per-tensor on the same network.
+func TestPerChannelAccuracy(t *testing.T) {
+	cfg := testCfg()
+	w := model.NewWeights(cfg, 63)
+	// Make one block's weights ill-conditioned: scale down half of
+	// W1's columns so per-tensor quantization starves them.
+	w1 := w.Blocks[0].W1
+	for c := 0; c < w1.Cols/2; c++ {
+		for r := 0; r < w1.Rows; r++ {
+			w1.Set(r, c, w1.At(r, c)*0.02)
+		}
+	}
+	x := tensor.Random(5, cfg.E, 1, 64)
+	ref := model.Forward(w, x, nil)
+	cal := Calibrate(w, x)
+	p, _ := partition.NewTensorParallel(cfg, 4)
+
+	pt, err := NewQuantEngine(w, p, cal, ReduceInt32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewQuantEngine(w, p, cal, ReduceInt32, PerChannelWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePT := tensor.MaxAbsDiff(ref, pt.Forward(x))
+	ePC := tensor.MaxAbsDiff(ref, pc.Forward(x))
+	// End-to-end output error is dominated by the shared activation
+	// quantization, so the weight-granularity gain mostly cancels at
+	// the network level (the per-matrix advantage is proven in the
+	// quant package tests); per-channel must at least not be
+	// meaningfully worse.
+	if ePC > ePT*1.25 {
+		t.Fatalf("per-channel error %g well above per-tensor %g", ePC, ePT)
+	}
+}
+
+// Per-channel combines with GQA and int8/int16 exchanges.
+func TestPerChannelGQAAndExchangeModes(t *testing.T) {
+	cfg := gqaCfg()
+	w := model.NewWeights(cfg, 65)
+	x := tensor.Random(4, cfg.E, 1, 66)
+	cal := Calibrate(w, x)
+	p, _ := partition.NewTensorParallel(cfg, 4)
+
+	exact, err := NewQuantEngine(w, p, cal, ReduceInt32, PerChannelWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut := exact.Forward(x)
+
+	for _, mode := range []ReduceMode{ReduceInt8, ReduceInt16} {
+		e, err := NewQuantEngine(w, p, cal, mode, PerChannelWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(refOut, e.Forward(x)); d > 0.25 {
+			t.Errorf("mode %v: per-channel deviation %g too large", mode, d)
+		}
+	}
+
+	// And against the single-chip per-channel reference: still exact.
+	p1, _ := partition.NewTensorParallel(cfg, 1)
+	ref1, _ := NewQuantEngine(w, p1, cal, ReduceInt32, PerChannelWeights())
+	if d := tensor.MaxAbsDiff(ref1.Forward(x), refOut); d != 0 {
+		t.Fatalf("per-channel GQA int32-reduce differs by %g", d)
+	}
+}
+
+func TestPerChannelAutoregressive(t *testing.T) {
+	cfg := testCfg()
+	w := model.NewWeights(cfg, 67)
+	x := tensor.Random(3, cfg.E, 1, 68)
+	cal := Calibrate(w, x)
+	p1, _ := partition.NewTensorParallel(cfg, 1)
+	p4, _ := partition.NewTensorParallel(cfg, 4)
+	ref, _ := NewQuantEngine(w, p1, cal, ReduceInt32, PerChannelWeights())
+	e, _ := NewQuantEngine(w, p4, cal, ReduceInt32, PerChannelWeights())
+	for i := 0; i < 3; i++ {
+		row := x.SliceRows(i, i+1)
+		var a, b *tensor.Mat
+		if i == 0 {
+			a, b = ref.Forward(row), e.Forward(row)
+		} else {
+			a, b = ref.ForwardStep(row), e.ForwardStep(row)
+		}
+		if d := tensor.MaxAbsDiff(a, b); d != 0 {
+			t.Fatalf("step %d: per-channel AR differs by %g", i, d)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mcudist/internal/model"
+)
+
+func TestGQASplitAlignsToGroups(t *testing.T) {
+	cfg := model.SmolLM135M() // H=9, KVHeads=3, group size 3
+	p, err := NewTensorParallel(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		if p.KVSlice[c].Len() != 1 {
+			t.Errorf("chip %d owns %d KV heads, want 1", c, p.KVSlice[c].Len())
+		}
+		if p.Heads[c].Len() != 3 {
+			t.Errorf("chip %d owns %d query heads, want 3", c, p.Heads[c].Len())
+		}
+	}
+}
+
+func TestGQARejectsChipsBeyondKVHeads(t *testing.T) {
+	cfg := model.SmolLM135M() // 3 KV heads
+	if _, err := NewTensorParallel(cfg, 4); err == nil {
+		t.Fatal("4 chips on 3 KV heads accepted")
+	}
+	if _, err := NewTensorParallel(cfg, 9); err == nil {
+		t.Fatal("9 chips (query-head count) accepted despite GQA")
+	}
+}
+
+func TestGQANoReplication(t *testing.T) {
+	cfg := model.SmolLM135M()
+	for _, n := range []int{1, 3} {
+		p, err := NewTensorParallel(cfg, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.TotalWeightBytes(); got != cfg.TotalWeightBytes() {
+			t.Errorf("n=%d: stored %d, model %d", n, got, cfg.TotalWeightBytes())
+		}
+	}
+}
+
+func TestGQAKVCacheSharded(t *testing.T) {
+	cfg := model.SmolLM135M()
+	p, _ := NewTensorParallel(cfg, 3)
+	s := 64
+	total := 0
+	for c := 0; c < 3; c++ {
+		total += p.KVBytesPerBlockOnChip(c, s)
+	}
+	if total != cfg.KVBytesPerBlock(s) {
+		t.Fatalf("sharded KV %d != full %d", total, cfg.KVBytesPerBlock(s))
+	}
+	// GQA cache is smaller than MHA would be: KVDim < P.
+	mha := cfg
+	mha.KVHeads = 0
+	if cfg.KVBytesPerBlock(s) >= mha.KVBytesPerBlock(s) {
+		t.Fatal("GQA did not shrink the KV cache")
+	}
+}
+
+func TestGQAWeightBytesSmaller(t *testing.T) {
+	gqa := model.SmolLM135M()
+	mha := gqa
+	mha.KVHeads = 0
+	if gqa.BlockWeightBytes() >= mha.BlockWeightBytes() {
+		t.Fatal("GQA did not shrink K/V projections")
+	}
+}
+
+// Property: for random GQA geometries, splits stay aligned and
+// conserve weights.
+func TestPropertyGQAPlans(t *testing.T) {
+	f := func(kvRaw, groupRaw, nRaw uint8) bool {
+		kv := 1 + int(kvRaw)%8
+		group := 1 + int(groupRaw)%4
+		cfg := model.TinyLlama42M()
+		cfg.H = kv * group
+		cfg.KVHeads = kv
+		cfg.P = cfg.H * 8 // even head dim for RoPE
+		n := 1 + int(nRaw)%kv
+		p, err := NewTensorParallel(cfg, n)
+		if err != nil {
+			return false
+		}
+		if p.Validate() != nil {
+			return false
+		}
+		return p.TotalWeightBytes() == cfg.TotalWeightBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

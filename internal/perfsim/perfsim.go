@@ -1,0 +1,545 @@
+// Package perfsim executes a lowered deployment on the discrete-event
+// substrate and reports what the paper extracts from GVSoC: total
+// runtime in cycles, the runtime breakdown (computation, chip-to-chip
+// link, L3↔L2 DMA, L2↔L1 DMA), and per-chip byte counters for the
+// energy model.
+//
+// Modeling conventions (matching the paper's stacked-bar accounting):
+// compute, L2↔L1 tile movement, and exposed L3 streaming serialize
+// within a phase. Every tree edge is an independent full-duplex MIPI
+// link (the Fig. 1 hub wiring), so a group's partials arrive at the
+// leader concurrently while the leader's accumulations serialize on
+// its cluster. Collective payloads move in tiles, letting the
+// broadcast of early tiles overlap the reduction of later ones.
+package perfsim
+
+import (
+	"fmt"
+
+	"mcudist/internal/deploy"
+	"mcudist/internal/eventsim"
+	"mcudist/internal/interconnect"
+	"mcudist/internal/kernels"
+	"mcudist/internal/model"
+	"mcudist/internal/partition"
+	"mcudist/internal/trace"
+)
+
+// ChipStats accumulates one chip's activity.
+type ChipStats struct {
+	// Cycle buckets (busy time by cause).
+	ComputeCycles float64
+	L3Cycles      float64
+	L2L1Cycles    float64
+	C2CCycles     float64
+	// Byte counters for the energy model.
+	L3Bytes      int64 // all off-chip traffic (weights + spill)
+	L3SpillBytes int64 // activation-spill share of L3Bytes
+	L2L1Bytes    int64
+	C2CSentBytes int64
+	// End is the chip's final timestamp.
+	End float64
+}
+
+// Breakdown attributes total runtime to the paper's four categories,
+// measured on the root chip's timeline (waits for remote partials are
+// chip-to-chip time).
+type Breakdown struct {
+	Compute float64
+	L2L1    float64
+	L3      float64
+	C2C     float64
+}
+
+// Total returns the summed breakdown, equal to the runtime.
+func (b Breakdown) Total() float64 { return b.Compute + b.L2L1 + b.L3 + b.C2C }
+
+// Result is the outcome of one simulated forward pass.
+type Result struct {
+	TotalCycles float64
+	Breakdown   Breakdown
+	PerChip     []ChipStats
+	// Syncs is the number of chip synchronizations executed (the
+	// paper's scheme: 2 per block).
+	Syncs int
+	// TreeDepth is the reduction-tree depth used.
+	TreeDepth int
+	// TotalC2CBytes is the summed link traffic.
+	TotalC2CBytes int64
+}
+
+type sim struct {
+	d        *deploy.Deployment
+	tree     *interconnect.Tree
+	eng      *eventsim.Engine
+	cluster  []*eventsim.Resource
+	dma      []*eventsim.Resource
+	io       []*eventsim.Resource
+	linkUp   []*eventsim.Resource // per chip: edge to its parent, reduce direction
+	linkDown []*eventsim.Resource // per chip: edge from its parent, broadcast direction
+	stats    []ChipStats
+	syncs    int
+	commTile int64
+	tl       *trace.Timeline
+}
+
+func (s *sim) span(chip int, category, label string, start, end float64) {
+	if s.tl != nil && end > start {
+		s.tl.Add(chip, category, label, start, end)
+	}
+}
+
+// Run simulates the deployment and returns the runtime report.
+func Run(d *deploy.Deployment) (*Result, error) {
+	return RunTraced(d, nil)
+}
+
+// RunTraced simulates the deployment, additionally recording every
+// kernel, DMA transfer, and link hop into tl (when non-nil).
+func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
+	n := d.Plan.Chips
+	tree, err := interconnect.BuildTree(n, d.HW.GroupSize)
+	if err != nil {
+		return nil, err
+	}
+	commTile := int64(d.Options.CommTileBytes)
+	if commTile == 0 {
+		commTile = deploy.DefaultCommTileBytes
+	}
+	s := &sim{
+		d:        d,
+		tree:     tree,
+		eng:      eventsim.NewEngine(),
+		cluster:  make([]*eventsim.Resource, n),
+		dma:      make([]*eventsim.Resource, n),
+		io:       make([]*eventsim.Resource, n),
+		linkUp:   make([]*eventsim.Resource, n),
+		linkDown: make([]*eventsim.Resource, n),
+		stats:    make([]ChipStats, n),
+		commTile: commTile,
+		tl:       tl,
+	}
+	for i := 0; i < n; i++ {
+		s.cluster[i] = eventsim.NewResource(s.eng, fmt.Sprintf("cluster%d", i))
+		s.dma[i] = eventsim.NewResource(s.eng, fmt.Sprintf("dma%d", i))
+		s.io[i] = eventsim.NewResource(s.eng, fmt.Sprintf("io%d", i))
+		s.linkUp[i] = eventsim.NewResource(s.eng, fmt.Sprintf("link-up%d", i))
+		s.linkDown[i] = eventsim.NewResource(s.eng, fmt.Sprintf("link-down%d", i))
+	}
+
+	var end float64
+	switch d.Plan.Strategy {
+	case partition.TensorParallel:
+		end = s.runTensorParallel()
+	case partition.Replicated:
+		end = s.runReplicated()
+	case partition.Pipeline:
+		end = s.runPipeline()
+	default:
+		return nil, fmt.Errorf("perfsim: unknown strategy %v", d.Plan.Strategy)
+	}
+
+	res := &Result{
+		TotalCycles: end,
+		PerChip:     s.stats,
+		Syncs:       s.syncs,
+		TreeDepth:   tree.Depth(),
+	}
+	for i := range s.stats {
+		res.TotalC2CBytes += s.stats[i].C2CSentBytes
+	}
+	if d.Plan.Strategy == partition.Pipeline {
+		// Stages run serially: the whole-system breakdown is the sum
+		// of per-stage activity plus the link handoffs.
+		for _, st := range s.stats {
+			res.Breakdown.Compute += st.ComputeCycles
+			res.Breakdown.L2L1 += st.L2L1Cycles
+			res.Breakdown.L3 += st.L3Cycles
+		}
+	} else {
+		// The root participates in every phase and sync; gaps in its
+		// timeline are waits on remote partials (chip-to-chip time).
+		rb := s.stats[tree.Root]
+		res.Breakdown = Breakdown{
+			Compute: rb.ComputeCycles,
+			L2L1:    rb.L2L1Cycles,
+			L3:      rb.L3Cycles,
+		}
+	}
+	res.Breakdown.C2C = end - res.Breakdown.Compute - res.Breakdown.L2L1 - res.Breakdown.L3
+	// Clamp floating-point residue: a system that moved no link bytes
+	// has no chip-to-chip time.
+	if res.Breakdown.C2C < 0 || (res.TotalC2CBytes == 0 && res.Breakdown.C2C < 1e-6*end) {
+		res.Breakdown.C2C = 0
+	}
+	return res, nil
+}
+
+// l1TileBytes is the DMA tiling granularity into L1.
+func (s *sim) l1TileBytes() int64 {
+	return int64(s.d.HW.Chip.L1Bytes / 2)
+}
+
+// execCost runs one kernel on a chip starting no earlier than t: tile
+// DMA and compute serialize, matching the stacked accounting.
+func (s *sim) execCost(chip int, t float64, cost kernels.Cost) float64 {
+	hwp := s.d.HW
+	bytes := cost.TotalL2L1Bytes()
+	if bytes > 0 {
+		dmaT := kernels.DMATime(bytes, hwp.Chip.DMAL2L1BytesPerCycle, hwp.Chip.DMAL2L1SetupCycles, s.l1TileBytes())
+		t = s.dma[chip].UseAfter(t, dmaT, nil)
+		s.span(chip, "dma-l2l1", cost.Name, t-dmaT, t)
+		s.stats[chip].L2L1Cycles += dmaT
+		s.stats[chip].L2L1Bytes += bytes
+	}
+	if cost.Cycles > 0 {
+		cycles := cost.Cycles
+		if f := s.d.Options.StragglerFactor; f > 0 && chip == s.d.Options.StragglerChip {
+			cycles /= f
+		}
+		t = s.cluster[chip].UseAfter(t, cycles, nil)
+		s.span(chip, "compute", cost.Name, t-cycles, t)
+		s.stats[chip].ComputeCycles += cycles
+	}
+	if t > s.stats[chip].End {
+		s.stats[chip].End = t
+	}
+	return t
+}
+
+// execScaled runs a fraction of a kernel's cost (tile-level collective
+// work).
+func (s *sim) execScaled(chip int, t float64, cost kernels.Cost, frac float64) float64 {
+	scaled := kernels.Cost{
+		Name:        cost.Name,
+		Cycles:      cost.Cycles * frac,
+		ActInBytes:  int64(float64(cost.ActInBytes) * frac),
+		ActOutBytes: int64(float64(cost.ActOutBytes) * frac),
+	}
+	return s.execCost(chip, t, scaled)
+}
+
+// l3Load streams bytes from L3 into L2 starting no earlier than t and
+// returns the completion time. spill marks activation-spill traffic.
+func (s *sim) l3Load(chip int, t float64, bytes int64, spill bool) float64 {
+	if bytes <= 0 {
+		return t
+	}
+	hwp := s.d.HW
+	dur := kernels.DMATime(bytes, hwp.Chip.DMAL3L2BytesPerCycle, hwp.Chip.DMAL3L2SetupCycles, s.l1TileBytes())
+	end := s.io[chip].UseAfter(t, dur, nil)
+	label := "weights"
+	if spill {
+		label = "act-spill"
+	}
+	s.span(chip, "dma-l3", label, end-dur, end)
+	s.stats[chip].L3Cycles += dur
+	s.stats[chip].L3Bytes += bytes
+	if spill {
+		s.stats[chip].L3SpillBytes += bytes
+	}
+	if end > s.stats[chip].End {
+		s.stats[chip].End = end
+	}
+	return end
+}
+
+// l3Background charges prefetch traffic that is off the critical path:
+// bytes and engine occupancy, no dependency for the caller. Returns
+// the transfer duration.
+func (s *sim) l3Background(chip int, t float64, bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	hwp := s.d.HW
+	dur := kernels.DMATime(bytes, hwp.Chip.DMAL3L2BytesPerCycle, hwp.Chip.DMAL3L2SetupCycles, s.l1TileBytes())
+	end := s.io[chip].UseAfter(t, dur, nil)
+	s.span(chip, "dma-l3", "prefetch", end-dur, end)
+	s.stats[chip].L3Bytes += bytes
+	return dur
+}
+
+// phase executes a kernel list with optional synchronous L3 traffic
+// (TierStreamed weights + activation spill), serialized before the
+// compute as on a capacity-starved chip.
+func (s *sim) phase(chip int, t float64, ops []kernels.Cost, exposedL3 int64, spillShare int64) float64 {
+	if exposedL3 > 0 {
+		weightPart := exposedL3 - spillShare
+		if weightPart > 0 {
+			t = s.l3Load(chip, t, weightPart, false)
+		}
+		if spillShare > 0 {
+			t = s.l3Load(chip, t, spillShare, true)
+		}
+	}
+	for _, op := range ops {
+		t = s.execCost(chip, t, op)
+	}
+	return t
+}
+
+// hopOn moves payload across one directed link resource. Links
+// touching a degraded chip (failure injection) transfer at the
+// configured fraction of nominal bandwidth.
+func (s *sim) hopOn(link *eventsim.Resource, from, to int, ready float64, payload int64) float64 {
+	dur := interconnect.TransferCycles(s.d.HW, payload)
+	if f := s.d.Options.DegradedLinkFactor; f > 0 && (from == s.d.Options.DegradedLinkChip || to == s.d.Options.DegradedLinkChip) {
+		dur /= f
+	}
+	end := link.UseAfter(ready, dur, nil)
+	// Each tree edge is its own full-duplex PHY: trace it as its own
+	// exclusive resource.
+	s.span(from, link.Name(), fmt.Sprintf("%d->%d", from, to), end-dur, end)
+	s.stats[from].C2CCycles += dur
+	s.stats[from].C2CSentBytes += payload
+	if end > s.stats[from].End {
+		s.stats[from].End = end
+	}
+	if end > s.stats[to].End {
+		s.stats[to].End = end
+	}
+	return end
+}
+
+// splitTiles cuts a payload into tiles of at most commTile bytes.
+func (s *sim) splitTiles(payload int64) []int64 {
+	if payload <= 0 {
+		return []int64{0}
+	}
+	var tiles []int64
+	for payload > 0 {
+		t := payload
+		if t > s.commTile {
+			t = s.commTile
+		}
+		tiles = append(tiles, t)
+		payload -= t
+	}
+	return tiles
+}
+
+// sync performs one hierarchical all-reduce + root work + broadcast,
+// pipelined over payload tiles. ready[i] is when chip i's partial is
+// available; the returned slice is when each chip holds the broadcast
+// result. rootWork runs (tile-proportionally) on the root between a
+// tile's reduction and its broadcast.
+func (s *sim) sync(ready []float64, reducePayload, bcastPayload int64, rootWork []kernels.Cost) []float64 {
+	s.syncs++
+	n := s.d.Plan.Chips
+	root := s.tree.Root
+
+	tiles := s.splitTiles(reducePayload)
+	nt := len(tiles)
+	bcastTiles := s.splitTiles(bcastPayload)
+	// Align tile counts (reduce fraction governs; broadcast payload
+	// is split proportionally).
+	for len(bcastTiles) < nt {
+		bcastTiles = append(bcastTiles, 0)
+	}
+	if len(bcastTiles) > nt {
+		merged := int64(0)
+		for _, b := range bcastTiles[nt-1:] {
+			merged += b
+		}
+		bcastTiles = append(bcastTiles[:nt-1], merged)
+	}
+
+	// arrive[c] tracks when chip c holds all broadcast tiles (its
+	// start time for the next phase).
+	arrive := make([]float64, n)
+	copy(arrive, ready)
+
+	reduceHops := s.tree.ReduceHops()
+	bcastHops := s.tree.BroadcastHops()
+
+	partialTile := make([]float64, n)
+	for k := 0; k < nt; k++ {
+		frac := 1.0 / float64(nt)
+		for c := 0; c < n; c++ {
+			partialTile[c] = ready[c]
+		}
+		for _, h := range reduceHops {
+			end := s.hopOn(s.linkUp[h.From], h.From, h.To, partialTile[h.From], tiles[k])
+			addEnd := s.execScaled(h.To, maxF(end, partialTile[h.To]), s.d.ReduceAdd, frac)
+			partialTile[h.To] = addEnd
+		}
+		t := partialTile[root]
+		for _, op := range rootWork {
+			t = s.execScaled(root, t, op, frac)
+		}
+		if t > arrive[root] {
+			arrive[root] = t
+		}
+		tileHas := make([]float64, n)
+		tileHas[root] = t
+		for _, h := range bcastHops {
+			tileHas[h.To] = s.hopOn(s.linkDown[h.To], h.From, h.To, tileHas[h.From], bcastTiles[k])
+			if tileHas[h.To] > arrive[h.To] {
+				arrive[h.To] = tileHas[h.To]
+			}
+		}
+	}
+	return arrive
+}
+
+func (s *sim) runTensorParallel() float64 {
+	n := s.d.Plan.Chips
+	blocks := s.d.Chips[0].Blocks
+	ready := make([]float64, n)
+
+	for b := 0; b < blocks; b++ {
+		blockStart := make([]float64, n)
+		copy(blockStart, ready)
+
+		phaseEnd := make([]float64, n)
+		for c := 0; c < n; c++ {
+			cd := &s.d.Chips[c]
+			t := ready[c]
+			if cd.Tier == deploy.TierResidentSingle {
+				// Next block's weights load synchronously between
+				// blocks.
+				t = s.l3Load(c, t, cd.BlockLoadBytes, false)
+			}
+			spill := cd.ExposedMHSABytes - weightPartOf(cd, true)
+			phaseEnd[c] = s.phase(c, t, cd.MHSA, cd.ExposedMHSABytes, spill)
+		}
+		afterMHSA := s.sync(phaseEnd, s.d.ReducePayload, s.d.BcastPayload, s.d.RootSync)
+
+		for c := 0; c < n; c++ {
+			cd := &s.d.Chips[c]
+			spill := cd.ExposedFCBytes - weightPartOf(cd, false)
+			phaseEnd[c] = s.phase(c, afterMHSA[c], cd.FC, cd.ExposedFCBytes, spill)
+		}
+		ready = s.sync(phaseEnd, s.d.ReducePayload, s.d.BcastPayload, s.d.RootSync)
+
+		// Double-buffered prefetch of the next block's weights:
+		// energy always, runtime only under the exposure ablation.
+		for c := 0; c < n; c++ {
+			cd := &s.d.Chips[c]
+			if cd.Tier != deploy.TierDoubleBuffered {
+				continue
+			}
+			dur := s.l3Background(c, blockStart[c], cd.StreamBytesPerBlock)
+			if s.d.Options.PrefetchExposed {
+				if exposed := dur - (ready[c] - blockStart[c]); exposed > 0 {
+					s.stats[c].L3Cycles += exposed
+					ready[c] += exposed
+					if ready[c] > s.stats[c].End {
+						s.stats[c].End = ready[c]
+					}
+				}
+			}
+		}
+	}
+	return maxAll(ready)
+}
+
+// weightPartOf returns the weight share of a phase's exposed L3 bytes.
+func weightPartOf(cd *deploy.ChipDeploy, mhsa bool) int64 {
+	if cd.Tier != deploy.TierStreamed {
+		return 0
+	}
+	var mw, fw int64
+	for _, op := range cd.MHSA {
+		mw += op.WeightBytes
+	}
+	for _, op := range cd.FC {
+		fw += op.WeightBytes
+	}
+	total := mw + fw
+	if total == 0 {
+		return 0
+	}
+	if mhsa {
+		return cd.StreamBytesPerBlock * mw / total
+	}
+	return cd.StreamBytesPerBlock * fw / total
+}
+
+func (s *sim) runReplicated() float64 {
+	n := s.d.Plan.Chips
+	blocks := s.d.Chips[0].Blocks
+	cfg := s.d.Plan.Config
+	sq := queryRowsOf(s.d)
+	active := 0
+	for c := 0; c < n; c++ {
+		if len(s.d.Chips[c].MHSA) > 0 {
+			active++
+		}
+	}
+	// Context exchange payload: each chip's keys/values for its rows;
+	// output exchange payload: its output rows.
+	rows := (sq + n - 1) / n
+	kvPayload := int64(rows) * int64(2*cfg.P) * int64(cfg.ActBytes)
+	outPayload := int64(rows) * int64(cfg.E) * int64(cfg.ActBytes)
+
+	ready := make([]float64, n)
+	for b := 0; b < blocks; b++ {
+		phaseEnd := make([]float64, n)
+		for c := 0; c < n; c++ {
+			cd := &s.d.Chips[c]
+			t := ready[c]
+			if cd.Tier == deploy.TierResidentSingle {
+				t = s.l3Load(c, t, cd.BlockLoadBytes, false)
+			}
+			spill := cd.ExposedMHSABytes - weightPartOf(cd, true)
+			phaseEnd[c] = s.phase(c, t, cd.MHSA, cd.ExposedMHSABytes, spill)
+		}
+		if active > 1 {
+			// Two synchronizations per block: K/V exchange before
+			// attention and output exchange after the block.
+			mid := s.sync(phaseEnd, kvPayload, kvPayload, nil)
+			ready = s.sync(mid, outPayload, outPayload, nil)
+		} else {
+			ready = phaseEnd
+		}
+	}
+	return maxAll(ready)
+}
+
+func (s *sim) runPipeline() float64 {
+	n := s.d.Plan.Chips
+	cfg := s.d.Plan.Config
+	sq := queryRowsOf(s.d)
+	actPayload := int64(sq) * int64(cfg.E) * int64(cfg.ActBytes)
+
+	t := 0.0
+	for c := 0; c < n; c++ {
+		cd := &s.d.Chips[c]
+		for b := 0; b < cd.Blocks; b++ {
+			if cd.Tier == deploy.TierResidentSingle {
+				t = s.l3Load(c, t, cd.BlockLoadBytes, false)
+			}
+			spill := cd.ExposedMHSABytes - weightPartOf(cd, true)
+			t = s.phase(c, t, cd.MHSA, cd.ExposedMHSABytes, spill)
+		}
+		if c+1 < n {
+			t = s.hopOn(s.linkUp[c+1], c, c+1, t, actPayload)
+		}
+	}
+	return t
+}
+
+func queryRowsOf(d *deploy.Deployment) int {
+	if d.Mode == model.Autoregressive {
+		return 1
+	}
+	return d.SeqLen
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxAll(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,98 @@
+package perfsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mcudist/internal/deploy"
+	"mcudist/internal/hw"
+	"mcudist/internal/model"
+	"mcudist/internal/partition"
+	"mcudist/internal/trace"
+)
+
+func runTraced(t *testing.T, n int) (*Result, *trace.Timeline) {
+	t.Helper()
+	p, err := partition.NewTensorParallel(model.TinyLlama42M(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := deploy.New(p, hw.Siracusa(), model.Autoregressive, 128, deploy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl trace.Timeline
+	res, err := RunTraced(d, &tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, &tl
+}
+
+func TestTraceMatchesResult(t *testing.T) {
+	res, tl := runTraced(t, 8)
+	if tl.Len() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	// The timeline may extend past the critical path: background
+	// weight prefetch (the paper's overlap idealization) keeps the IO
+	// DMA busy beyond the block boundary. It can never end earlier
+	// than the runtime.
+	if tl.End() < res.TotalCycles-1e-6 {
+		t.Fatalf("trace end %g before total %g", tl.End(), res.TotalCycles)
+	}
+	// Per-category compute busy cycles must match the stats summed
+	// over chips.
+	busy := tl.BusyCycles()
+	var compute float64
+	for i := range res.PerChip {
+		compute += res.PerChip[i].ComputeCycles
+	}
+	if math.Abs(busy["compute"]-compute) > 1e-6*compute {
+		t.Fatalf("trace compute %g != stats %g", busy["compute"], compute)
+	}
+}
+
+func TestTraceResourceExclusivity(t *testing.T) {
+	// Spans on one chip's cluster / DMA / IO / link must never
+	// overlap: each is an exclusive resource.
+	for _, n := range []int{1, 4, 8} {
+		_, tl := runTraced(t, n)
+		if err := tl.CheckNoOverlap(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestTraceUntracedRunIdentical(t *testing.T) {
+	res1, _ := runTraced(t, 8)
+	p, _ := partition.NewTensorParallel(model.TinyLlama42M(), 8)
+	d, _ := deploy.New(p, hw.Siracusa(), model.Autoregressive, 128, deploy.Options{})
+	res2, err := Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.TotalCycles != res2.TotalCycles {
+		t.Fatalf("tracing changed the result: %g vs %g", res1.TotalCycles, res2.TotalCycles)
+	}
+}
+
+func TestTraceContainsAllCategories(t *testing.T) {
+	_, tl := runTraced(t, 4) // resident-single: has L3 spans too
+	busy := tl.BusyCycles()
+	for _, cat := range []string{"compute", "dma-l2l1", "dma-l3"} {
+		if busy[cat] <= 0 {
+			t.Errorf("category %s missing from trace", cat)
+		}
+	}
+	var linkBusy float64
+	for cat, v := range busy {
+		if strings.HasPrefix(cat, "link") {
+			linkBusy += v
+		}
+	}
+	if linkBusy <= 0 {
+		t.Error("no link spans in trace")
+	}
+}

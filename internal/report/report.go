@@ -1,0 +1,130 @@
+// Package report renders experiment results as aligned ASCII tables
+// and CSV — the textual equivalents of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+func formatFloat(v float64) string {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a == 0:
+		return "0"
+	case a >= 1e6 || a < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	case a >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Bar renders a proportional text bar of the given width for
+// value/total (used for runtime-breakdown visualizations).
+func Bar(value, total float64, width int) string {
+	if total <= 0 || value <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(value/total*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

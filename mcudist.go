@@ -1,0 +1,181 @@
+// Package mcudist reproduces "Distributed Inference with Minimal
+// Off-Chip Traffic for Transformers on Low-Power MCUs" (DATE 2025): a
+// tensor-parallel partitioning scheme that runs small transformers
+// across a network of Siracusa-like MCUs with no weight replication
+// and two synchronizations per block, an event-driven multi-chip
+// performance simulator, the paper's analytical energy model, and a
+// functional distributed executor that proves the partitioned network
+// computes exactly what the single-device network computes.
+//
+// Quick start:
+//
+//	rep, err := mcudist.Run(
+//		mcudist.DefaultSystem(8),
+//		mcudist.Workload{Model: mcudist.TinyLlama42M(), Mode: mcudist.Autoregressive},
+//	)
+//
+// See the examples directory for runnable scenarios and cmd/paperrepro
+// for regenerating every table and figure of the paper.
+package mcudist
+
+import (
+	"mcudist/internal/core"
+	"mcudist/internal/deploy"
+	"mcudist/internal/explore"
+	"mcudist/internal/hw"
+	"mcudist/internal/model"
+	"mcudist/internal/numeric"
+	"mcudist/internal/partition"
+	"mcudist/internal/tensor"
+)
+
+// Simulation API.
+type (
+	// System describes the multi-chip platform and strategy.
+	System = core.System
+	// Workload selects a model, an inference mode, and a sequence
+	// length.
+	Workload = core.Workload
+	// Report is the consolidated result of one simulated forward.
+	Report = core.Report
+	// HWParams is the hardware description consumed by the simulator.
+	HWParams = hw.Params
+	// DeployOptions tunes the deployment planner.
+	DeployOptions = deploy.Options
+	// Tier is a chip's weight-placement regime.
+	Tier = deploy.Tier
+)
+
+// Model description API.
+type (
+	// Config is a transformer model description.
+	Config = model.Config
+	// Mode is the inference mode.
+	Mode = model.Mode
+	// Strategy selects the distribution scheme.
+	Strategy = partition.Strategy
+	// Plan is a placement of a model onto chips.
+	Plan = partition.Plan
+	// Weights holds float parameters for functional runs.
+	Weights = model.Weights
+	// KVCache is the reference autoregressive cache.
+	KVCache = model.KVCache
+	// Mat is a row-major float32 matrix.
+	Mat = tensor.Mat
+	// Executor runs the distributed forward pass numerically.
+	Executor = numeric.Executor
+	// GenerationReport aggregates a prefill + decode session.
+	GenerationReport = core.GenerationReport
+	// ExplorePoint is one configuration of a design-space sweep.
+	ExplorePoint = explore.Point
+)
+
+// Inference modes.
+const (
+	Autoregressive = model.Autoregressive
+	Prompt         = model.Prompt
+)
+
+// Distribution strategies.
+const (
+	TensorParallel = partition.TensorParallel
+	Replicated     = partition.Replicated
+	Pipeline       = partition.Pipeline
+)
+
+// Placement tiers.
+const (
+	TierStreamed       = deploy.TierStreamed
+	TierResidentSingle = deploy.TierResidentSingle
+	TierDoubleBuffered = deploy.TierDoubleBuffered
+	TierResidentAll    = deploy.TierResidentAll
+)
+
+// Run plans, simulates, and evaluates one workload on one system.
+func Run(sys System, wl Workload) (*Report, error) { return core.Run(sys, wl) }
+
+// Sweep runs a workload across several chip counts.
+func Sweep(base System, wl Workload, chips []int) ([]*Report, error) {
+	return core.Sweep(base, wl, chips)
+}
+
+// Speedup returns base.Cycles / r.Cycles.
+func Speedup(base, r *Report) float64 { return core.Speedup(base, r) }
+
+// DefaultSystem returns the paper's Siracusa-based system with n
+// chips and the tensor-parallel strategy.
+func DefaultSystem(n int) System { return core.DefaultSystem(n) }
+
+// Siracusa returns the paper's hardware parameter set.
+func Siracusa() HWParams { return hw.Siracusa() }
+
+// TinyLlama42M returns the paper's main decoder workload.
+func TinyLlama42M() Config { return model.TinyLlama42M() }
+
+// TinyLlamaScaled64 returns the 64-head scalability-study variant.
+func TinyLlamaScaled64() Config { return model.TinyLlamaScaled64() }
+
+// MobileBERT512 returns the paper's encoder workload.
+func MobileBERT512() Config { return model.MobileBERT512() }
+
+// SmolLM135M returns a grouped-query-attention SLM preset (the GQA
+// extension of the partitioning scheme).
+func SmolLM135M() Config { return model.SmolLM135M() }
+
+// PaperSeqLen returns the sequence length the paper uses for a model
+// and mode.
+func PaperSeqLen(c Config, m Mode) int { return model.PaperSeqLen(c, m) }
+
+// NewWeights builds deterministic synthetic weights for functional
+// runs.
+func NewWeights(cfg Config, seed int64) *Weights { return model.NewWeights(cfg, seed) }
+
+// Forward runs the reference single-device prompt-mode forward pass.
+func Forward(w *Weights, x *Mat, cache *KVCache) *Mat { return model.Forward(w, x, cache) }
+
+// ForwardStep runs one reference autoregressive step.
+func ForwardStep(w *Weights, x *Mat, cache *KVCache) *Mat { return model.ForwardStep(w, x, cache) }
+
+// NewKVCache returns an empty reference cache.
+func NewKVCache(cfg Config) *KVCache { return model.NewKVCache(cfg) }
+
+// NewPlan builds the paper's tensor-parallel partition of cfg across
+// n chips.
+func NewPlan(cfg Config, n int) (*Plan, error) { return partition.NewTensorParallel(cfg, n) }
+
+// NewExecutor distributes weights per the plan for functional runs.
+func NewExecutor(w *Weights, p *Plan) (*Executor, error) { return numeric.NewExecutor(w, p) }
+
+// RandomInput returns a deterministic random activation matrix
+// (rows × cfg.E).
+func RandomInput(cfg Config, rows int, seed int64) *Mat {
+	return tensor.Random(rows, cfg.E, 1, seed)
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference
+// between two matrices (for verifying distributed against reference).
+func MaxAbsDiff(a, b *Mat) float64 { return tensor.MaxAbsDiff(a, b) }
+
+// RunGeneration simulates a full interactive session: prompt prefill
+// followed by genTokens autoregressive steps with growing context.
+func RunGeneration(sys System, cfg Config, promptLen, genTokens int) (*GenerationReport, error) {
+	return core.RunGeneration(sys, cfg, promptLen, genTokens)
+}
+
+// MinChipsOffChipFree returns the smallest chip count (≤ maxChips)
+// that keeps off-chip traffic off the runtime critical path.
+func MinChipsOffChipFree(base System, wl Workload, maxChips int) (*ExplorePoint, error) {
+	return explore.MinChipsOffChipFree(base, wl, maxChips)
+}
+
+// Frontier evaluates the workload at the given chip counts and marks
+// latency/energy Pareto-optimal configurations.
+func Frontier(base System, wl Workload, chips []int) ([]ExplorePoint, error) {
+	return explore.Frontier(base, wl, chips)
+}
+
+// LegalChipCounts returns the chip counts the tensor-parallel plan
+// accepts for cfg, up to max.
+func LegalChipCounts(cfg Config, max int) []int {
+	return explore.LegalChipCounts(cfg, max)
+}

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"mcudist/internal/core"
+	"mcudist/internal/evalpool"
 	"mcudist/internal/experiments"
 	"mcudist/internal/model"
 )
@@ -64,6 +65,7 @@ func BenchmarkFig4cMobileBERT(b *testing.B) {
 func BenchmarkFig5aEnergyAutoregressive(b *testing.B) {
 	var res *experiments.Fig5Result
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.Fig5a()
 		if err != nil {
 			b.Fatal(err)
@@ -83,6 +85,7 @@ func BenchmarkFig5aEnergyAutoregressive(b *testing.B) {
 func BenchmarkFig5bEnergyPrompt(b *testing.B) {
 	var res *experiments.Fig5Result
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.Fig5b()
 		if err != nil {
 			b.Fatal(err)
@@ -99,6 +102,7 @@ func BenchmarkFig5bEnergyPrompt(b *testing.B) {
 func BenchmarkFig5cEnergyMobileBERT(b *testing.B) {
 	var res *experiments.Fig5Result
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.Fig5c()
 		if err != nil {
 			b.Fatal(err)
@@ -117,6 +121,7 @@ func BenchmarkFig5cEnergyMobileBERT(b *testing.B) {
 func BenchmarkFig6Scalability(b *testing.B) {
 	var res *experiments.Fig6Result
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.Fig6()
 		if err != nil {
 			b.Fatal(err)
@@ -134,6 +139,7 @@ func BenchmarkFig6Scalability(b *testing.B) {
 func BenchmarkTable1StrategyComparison(b *testing.B) {
 	var rows []experiments.Table1Row
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.Table1()
 		if err != nil {
 			b.Fatal(err)
@@ -158,6 +164,7 @@ func BenchmarkTable1StrategyComparison(b *testing.B) {
 func BenchmarkHeadlineMetrics(b *testing.B) {
 	var h *experiments.Headline
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		res, err := experiments.RunHeadline()
 		if err != nil {
 			b.Fatal(err)
@@ -178,6 +185,7 @@ func BenchmarkHeadlineMetrics(b *testing.B) {
 func BenchmarkAblationReduceTopology(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.AblationReduceTopology()
 		if err != nil {
 			b.Fatal(err)
@@ -196,6 +204,7 @@ func BenchmarkAblationReduceTopology(b *testing.B) {
 func BenchmarkAblationReducePrecision(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.AblationReducePrecision()
 		if err != nil {
 			b.Fatal(err)
@@ -212,6 +221,7 @@ func BenchmarkAblationReducePrecision(b *testing.B) {
 func BenchmarkAblationPrefetch(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.AblationPrefetch()
 		if err != nil {
 			b.Fatal(err)
@@ -227,6 +237,7 @@ func BenchmarkAblationPrefetch(b *testing.B) {
 func BenchmarkAblationGroupSize(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.AblationGroupSize()
 		if err != nil {
 			b.Fatal(err)
@@ -243,6 +254,7 @@ func BenchmarkAblationGroupSize(b *testing.B) {
 func BenchmarkAblationActivationSpill(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.AblationActivationSpill()
 		if err != nil {
 			b.Fatal(err)
@@ -262,6 +274,7 @@ func BenchmarkAblationActivationSpill(b *testing.B) {
 func BenchmarkExtensionFullGrid(b *testing.B) {
 	var rows []experiments.GridRow
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.ExtensionFullGrid()
 		if err != nil {
 			b.Fatal(err)
@@ -280,6 +293,7 @@ func BenchmarkExtensionFullGrid(b *testing.B) {
 func BenchmarkExtensionSeqLen(b *testing.B) {
 	var rows []experiments.SeqLenRow
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.ExtensionSeqLenStudy()
 		if err != nil {
 			b.Fatal(err)
@@ -296,6 +310,7 @@ func BenchmarkExtensionSeqLen(b *testing.B) {
 func BenchmarkExtensionGQA(b *testing.B) {
 	var rows []experiments.GQARow
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.ExtensionGQAStudy()
 		if err != nil {
 			b.Fatal(err)
@@ -312,6 +327,7 @@ func BenchmarkExtensionGQA(b *testing.B) {
 func BenchmarkExtensionBatching(b *testing.B) {
 	var rows []experiments.BatchRow
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.ExtensionBatchingStudy()
 		if err != nil {
 			b.Fatal(err)
@@ -330,6 +346,7 @@ func BenchmarkExtensionBatching(b *testing.B) {
 func BenchmarkAblationStraggler(b *testing.B) {
 	var rows []experiments.AblationRow
 	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
 		r, err := experiments.AblationStraggler()
 		if err != nil {
 			b.Fatal(err)
@@ -356,6 +373,45 @@ func BenchmarkGenerationSession(b *testing.B) {
 	b.ReportMetric(g.TimeToFirstTokenSeconds*1e3, "ttft_ms")
 	b.ReportMetric(g.TokensPerSecond, "tokens_per_sec")
 	b.ReportMetric(g.TotalEnergyJ*1e3, "session_energy_mJ")
+}
+
+// BenchmarkParallelSweep compares serial against pooled evaluation of
+// the full Fig. 6 scalability sweep (scaled-up TinyLlama, both modes,
+// 1–64 chips). Each pooled iteration uses a fresh pool so the cache
+// cannot serve earlier iterations: the measured gap is the worker-pool
+// speedup alone, and on a multi-core runner "pooled" must beat
+// "serial" wall-clock per op.
+func BenchmarkParallelSweep(b *testing.B) {
+	cfg := model.TinyLlamaScaled64()
+	chips := []int{1, 2, 4, 8, 16, 32, 64}
+	arWL := core.Workload{Model: cfg, Mode: model.Autoregressive}
+	prWL := core.Workload{Model: cfg, Mode: model.Prompt}
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Sweep(core.DefaultSystem(1), arWL, chips); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.Sweep(core.DefaultSystem(1), prWL, chips); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := evalpool.New(0)
+			ar, err := p.Eval(core.DefaultSystem(1), arWL, chips)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Eval(core.DefaultSystem(1), prWL, chips); err != nil {
+				b.Fatal(err)
+			}
+			if len(ar) != len(chips) {
+				b.Fatal("short sweep")
+			}
+		}
+	})
 }
 
 // BenchmarkSingleRun8Chips measures the cost of one full

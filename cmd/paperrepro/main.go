@@ -7,6 +7,7 @@
 //	paperrepro              # everything
 //	paperrepro -only fig4a  # one experiment: fig4a..fig6, table1,
 //	                        # headline, ablations
+//	paperrepro -workers 4   # bound the evaluation concurrency
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"mcudist/internal/evalpool"
 	"mcudist/internal/experiments"
 	"mcudist/internal/report"
 )
@@ -26,7 +28,9 @@ type step struct {
 
 func main() {
 	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations extensions")
+	workers := flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 	flag.Parse()
+	evalpool.SetWorkers(*workers)
 
 	all := []step{
 		{"fig4a", fig4(experiments.Fig4a, "paper: 26.1x at 8 chips, L3-bound below")},

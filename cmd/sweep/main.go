@@ -5,7 +5,7 @@
 // Usage:
 //
 //	sweep -model tinyllama -mode autoregressive -chips 1,2,4,8
-//	sweep -model scaled -mode prompt -chips 1,2,4,8,16,32,64
+//	sweep -model scaled -mode prompt -chips 1,2,4,8,16,32,64 -workers 4
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"mcudist/internal/core"
+	"mcudist/internal/evalpool"
 	"mcudist/internal/model"
 	"mcudist/internal/report"
 )
@@ -26,8 +27,10 @@ func main() {
 		modeName  = flag.String("mode", "autoregressive", "mode: autoregressive | prompt")
 		chipsList = flag.String("chips", "1,2,4,8", "comma-separated chip counts")
 		seqLen    = flag.Int("seqlen", 0, "sequence length (0 = paper default)")
+		workers   = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	evalpool.SetWorkers(*workers)
 
 	var cfg model.Config
 	switch strings.ToLower(*modelName) {
@@ -55,7 +58,7 @@ func main() {
 	}
 
 	wl := core.Workload{Model: cfg, Mode: mode, SeqLen: *seqLen}
-	reports, err := core.Sweep(core.DefaultSystem(1), wl, chips)
+	reports, err := evalpool.Eval(core.DefaultSystem(1), wl, chips)
 	if err != nil {
 		fatal(err)
 	}

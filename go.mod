@@ -1,0 +1,3 @@
+module mcudist
+
+go 1.24

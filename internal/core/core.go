@@ -131,7 +131,11 @@ func buildPlan(sys System, cfg model.Config) (*partition.Plan, error) {
 }
 
 // Sweep runs the workload across several chip counts on otherwise
-// identical systems and returns reports in order.
+// identical systems and returns reports in order. This is the serial
+// reference path: internal/evalpool provides the concurrent, memoized
+// equivalent (verified byte-identical against this function) and is
+// what the figure generators and the public facade route through;
+// core cannot depend on it without an import cycle.
 func Sweep(base System, wl Workload, chipCounts []int) ([]*Report, error) {
 	out := make([]*Report, 0, len(chipCounts))
 	for _, n := range chipCounts {

@@ -1,0 +1,195 @@
+// Package evalpool is the concurrent evaluation engine behind every
+// figure, table, ablation, and design-space sweep: a worker pool that
+// fans (System, Workload) points out across CPUs plus a memoized,
+// concurrency-safe report cache keyed by the exact configuration, so
+// a point shared by several figures (the 1-chip TinyLlama baseline
+// appears in Fig. 4, Fig. 5, Table I, and the headline metrics) is
+// simulated exactly once per process.
+//
+// The engine is guaranteed to produce byte-identical results to the
+// serial path (core.Run in a loop, core.Sweep): results are returned
+// in input order, errors are reported for the lowest failing input
+// index, and core.Run shares no mutable state between runs. The
+// equivalence is locked in by TestPoolMatchesSerial and a race-detector
+// pass over this package.
+//
+// Reports returned by the engine may be shared between callers and
+// must be treated as immutable.
+package evalpool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mcudist/internal/core"
+)
+
+// Point is one configuration to evaluate: a fully specified system
+// and workload. Point is a comparable struct and doubles as the cache
+// key, so two Points request the same cache entry exactly when every
+// hardware parameter, planner option, model field, and sequence length
+// matches.
+type Point struct {
+	System   core.System
+	Workload core.Workload
+}
+
+// Pool is a worker-pool evaluator with a memoized report cache. The
+// zero value is not usable; construct with New. A Pool is safe for
+// concurrent use by multiple goroutines.
+type Pool struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[Point]*cacheEntry
+}
+
+// cacheEntry memoizes one evaluation. The first requester runs
+// core.Run inside the sync.Once; concurrent requesters of the same
+// Point block on the Once and then read the settled result.
+type cacheEntry struct {
+	once sync.Once
+	rep  *core.Report
+	err  error
+}
+
+// New returns a Pool evaluating up to workers points concurrently.
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, cache: make(map[Point]*cacheEntry)}
+}
+
+// Workers returns the pool's concurrency limit.
+func (p *Pool) Workers() int { return p.workers }
+
+// Reset drops every memoized report. In-flight evaluations settle
+// into the old entries and are simply no longer shared afterwards.
+func (p *Pool) Reset() {
+	p.mu.Lock()
+	p.cache = make(map[Point]*cacheEntry)
+	p.mu.Unlock()
+}
+
+// Run evaluates one point through the cache: the first request for a
+// configuration invokes core.Run, every later request returns the
+// memoized report.
+func (p *Pool) Run(sys core.System, wl core.Workload) (*core.Report, error) {
+	key := Point{System: sys, Workload: wl}
+	p.mu.Lock()
+	e, ok := p.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		p.cache[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() { e.rep, e.err = core.Run(sys, wl) })
+	return e.rep, e.err
+}
+
+// Map evaluates every point on the worker pool and returns reports in
+// input order. On failure it returns the error of the lowest failing
+// index — the same error the serial loop would hit first — so error
+// behavior is deterministic regardless of scheduling.
+func (p *Pool) Map(points []Point) ([]*core.Report, error) {
+	reports := make([]*core.Report, len(points))
+	errs := make([]error, len(points))
+
+	workers := p.workers
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		for i, pt := range points {
+			reports[i], errs[i] = p.Run(pt.System, pt.Workload)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= len(points) {
+						return
+					}
+					reports[i], errs[i] = p.Run(points[i].System, points[i].Workload)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("evalpool: point %d (%d chips): %w",
+				i, points[i].System.Chips, err)
+		}
+	}
+	return reports, nil
+}
+
+// Eval runs the workload across several chip counts on otherwise
+// identical systems — the pooled equivalent of core.Sweep, returning
+// reports in chip-list order.
+func (p *Pool) Eval(base core.System, wl core.Workload, chips []int) ([]*core.Report, error) {
+	points := make([]Point, len(chips))
+	for i, n := range chips {
+		sys := base
+		sys.Chips = n
+		points[i] = Point{System: sys, Workload: wl}
+	}
+	return p.Map(points)
+}
+
+// The default pool serves package-level calls. Every consumer in the
+// repository (root facade, explore, experiments, cmds) shares it, so
+// configurations repeated across figures are computed once per
+// process.
+var (
+	defaultMu   sync.RWMutex
+	defaultPool = New(0)
+)
+
+// SetWorkers replaces the default pool with one of the given
+// concurrency (<= 0 selects GOMAXPROCS), dropping the accumulated
+// cache. Commands call this once at startup from their -workers flag;
+// it is not intended to race with in-flight evaluations.
+func SetWorkers(n int) {
+	defaultMu.Lock()
+	defaultPool = New(n)
+	defaultMu.Unlock()
+}
+
+// Default returns the process-wide shared pool.
+func Default() *Pool {
+	defaultMu.RLock()
+	defer defaultMu.RUnlock()
+	return defaultPool
+}
+
+// ResetCache drops the default pool's memoized reports — the release
+// valve for long-lived processes sweeping unbounded configuration
+// spaces (the cache has no eviction of its own).
+func ResetCache() { Default().Reset() }
+
+// Run evaluates one point on the default pool's cache.
+func Run(sys core.System, wl core.Workload) (*core.Report, error) {
+	return Default().Run(sys, wl)
+}
+
+// Map evaluates points on the default pool.
+func Map(points []Point) ([]*core.Report, error) {
+	return Default().Map(points)
+}
+
+// Eval sweeps chip counts on the default pool.
+func Eval(base core.System, wl core.Workload, chips []int) ([]*core.Report, error) {
+	return Default().Eval(base, wl, chips)
+}

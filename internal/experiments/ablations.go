@@ -5,6 +5,7 @@ import (
 
 	"mcudist/internal/core"
 	"mcudist/internal/deploy"
+	"mcudist/internal/evalpool"
 	"mcudist/internal/hw"
 	"mcudist/internal/model"
 )
@@ -18,13 +19,41 @@ type AblationRow struct {
 	EnergyMJ float64
 }
 
+// ablationPoint is one labeled configuration of an ablation.
+type ablationPoint struct {
+	label string
+	sys   core.System
+	wl    core.Workload
+}
+
+// runAblation fans the configurations out on the evalpool engine and
+// assembles rows in input order.
+func runAblation(pts []ablationPoint) ([]AblationRow, error) {
+	points := make([]evalpool.Point, len(pts))
+	for i, p := range pts {
+		points[i] = evalpool.Point{System: p.sys, Workload: p.wl}
+	}
+	reports, err := evalpool.Map(points)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, len(pts))
+	for i, r := range reports {
+		rows[i] = AblationRow{
+			Label: pts[i].label, Chips: pts[i].sys.Chips, Cycles: r.Cycles,
+			C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
+		}
+	}
+	return rows, nil
+}
+
 // AblationReduceTopology compares the paper's hierarchical groups-of-4
 // reduction against a flat all-to-one reduce at scale — the design
 // choice Fig. 1 motivates ("an all-to-one reduce operation lacks the
 // required scalability").
 func AblationReduceTopology() ([]AblationRow, error) {
 	wl := core.Workload{Model: model.TinyLlamaScaled64(), Mode: model.Prompt}
-	var rows []AblationRow
+	var pts []ablationPoint
 	for _, n := range []int{16, 32, 64} {
 		for _, flat := range []bool{false, true} {
 			sys := core.DefaultSystem(n)
@@ -33,36 +62,22 @@ func AblationReduceTopology() ([]AblationRow, error) {
 				sys.HW.GroupSize = n // one flat group: all-to-one
 				label = "flat-all-to-one"
 			}
-			r, err := core.Run(sys, wl)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationRow{
-				Label: label, Chips: n, Cycles: r.Cycles,
-				C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
-			})
+			pts = append(pts, ablationPoint{label: label, sys: sys, wl: wl})
 		}
 	}
-	return rows, nil
+	return runAblation(pts)
 }
 
 // AblationGroupSize sweeps the reduction-tree arity at 64 chips.
 func AblationGroupSize() ([]AblationRow, error) {
 	wl := core.Workload{Model: model.TinyLlamaScaled64(), Mode: model.Prompt}
-	var rows []AblationRow
+	var pts []ablationPoint
 	for _, g := range []int{2, 4, 8, 16} {
 		sys := core.DefaultSystem(64)
 		sys.HW.GroupSize = g
-		r, err := core.Run(sys, wl)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Label: fmt.Sprintf("group-%d", g), Chips: 64, Cycles: r.Cycles,
-			C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
-		})
+		pts = append(pts, ablationPoint{label: fmt.Sprintf("group-%d", g), sys: sys, wl: wl})
 	}
-	return rows, nil
+	return runAblation(pts)
 }
 
 // AblationReducePrecision compares the deployed int8 partial exchange
@@ -70,48 +85,36 @@ func AblationGroupSize() ([]AblationRow, error) {
 // int32 accumulator exchange (4× the link traffic).
 func AblationReducePrecision() ([]AblationRow, error) {
 	names := map[int]string{1: "int8", 2: "int16", 4: "int32"}
-	var rows []AblationRow
+	var pts []ablationPoint
 	for _, mode := range []model.Mode{model.Autoregressive, model.Prompt} {
 		for _, bytes := range []int{1, 2, 4} {
 			cfg := model.TinyLlama42M()
 			cfg.ReduceBytes = bytes
-			sys := core.DefaultSystem(8)
-			r, err := core.Run(sys, core.Workload{Model: cfg, Mode: mode})
-			if err != nil {
-				return nil, err
-			}
-			label := mode.String() + "-" + names[bytes] + "-exchange"
-			rows = append(rows, AblationRow{
-				Label: label, Chips: 8, Cycles: r.Cycles,
-				C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
+			pts = append(pts, ablationPoint{
+				label: mode.String() + "-" + names[bytes] + "-exchange",
+				sys:   core.DefaultSystem(8),
+				wl:    core.Workload{Model: cfg, Mode: mode},
 			})
 		}
 	}
-	return rows, nil
+	return runAblation(pts)
 }
 
 // AblationPrefetch compares the paper's overlapped double-buffer
 // accounting against charging the prefetch to runtime.
 func AblationPrefetch() ([]AblationRow, error) {
 	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}
-	var rows []AblationRow
+	var pts []ablationPoint
 	for _, exposed := range []bool{false, true} {
 		sys := core.DefaultSystem(8)
 		sys.Options = deploy.Options{PrefetchExposed: exposed}
-		r, err := core.Run(sys, wl)
-		if err != nil {
-			return nil, err
-		}
 		label := "prefetch-overlapped"
 		if exposed {
 			label = "prefetch-exposed"
 		}
-		rows = append(rows, AblationRow{
-			Label: label, Chips: 8, Cycles: r.Cycles,
-			C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
-		})
+		pts = append(pts, ablationPoint{label: label, sys: sys, wl: wl})
 	}
-	return rows, nil
+	return runAblation(pts)
 }
 
 // AblationActivationSpill isolates the streamed-tier activation-spill
@@ -120,7 +123,7 @@ func AblationPrefetch() ([]AblationRow, error) {
 // 4-chip speedup loses super-linearity.
 func AblationActivationSpill() ([]AblationRow, error) {
 	wl := core.Workload{Model: model.MobileBERT512(), Mode: model.Prompt}
-	var rows []AblationRow
+	var pts []ablationPoint
 	for _, noSpill := range []bool{false, true} {
 		label := "with-spill"
 		if noSpill {
@@ -129,17 +132,10 @@ func AblationActivationSpill() ([]AblationRow, error) {
 		for _, n := range []int{1, 4} {
 			sys := core.DefaultSystem(n)
 			sys.Options = deploy.Options{NoActivationSpill: noSpill}
-			r, err := core.Run(sys, wl)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationRow{
-				Label: label, Chips: n, Cycles: r.Cycles,
-				C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
-			})
+			pts = append(pts, ablationPoint{label: label, sys: sys, wl: wl})
 		}
 	}
-	return rows, nil
+	return runAblation(pts)
 }
 
 // AblationDegradedLink injects a single degraded link (quarter-rate,
@@ -157,20 +153,13 @@ func AblationDegradedLink() ([]AblationRow, error) {
 		{"leaf-chip7-quarter-rate", 7, 0.25},
 		{"root-chip0-quarter-rate", 0, 0.25},
 	}
-	var rows []AblationRow
+	var pts []ablationPoint
 	for _, c := range configs {
 		sys := core.DefaultSystem(8)
 		sys.Options = deploy.Options{DegradedLinkFactor: c.factor, DegradedLinkChip: c.chip}
-		r, err := core.Run(sys, wl)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Label: c.label, Chips: 8, Cycles: r.Cycles,
-			C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
-		})
+		pts = append(pts, ablationPoint{label: c.label, sys: sys, wl: wl})
 	}
-	return rows, nil
+	return runAblation(pts)
 }
 
 // AblationStraggler throttles one chip's cluster to half speed
@@ -180,7 +169,7 @@ func AblationDegradedLink() ([]AblationRow, error) {
 // scheme's tight coupling.
 func AblationStraggler() ([]AblationRow, error) {
 	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Prompt}
-	var rows []AblationRow
+	var pts []ablationPoint
 	for _, f := range []float64{0, 0.75, 0.5, 0.25} {
 		sys := core.DefaultSystem(8)
 		label := "healthy"
@@ -188,34 +177,20 @@ func AblationStraggler() ([]AblationRow, error) {
 			sys.Options = deploy.Options{StragglerFactor: f, StragglerChip: 3}
 			label = fmt.Sprintf("chip3-at-%.0f%%-speed", f*100)
 		}
-		r, err := core.Run(sys, wl)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Label: label, Chips: 8, Cycles: r.Cycles,
-			C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
-		})
+		pts = append(pts, ablationPoint{label: label, sys: sys, wl: wl})
 	}
-	return rows, nil
+	return runAblation(pts)
 }
 
 // AblationLinkBandwidth sweeps the MIPI link bandwidth at 8 chips,
 // prompt mode, where the collective payloads are largest.
 func AblationLinkBandwidth() ([]AblationRow, error) {
 	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Prompt}
-	var rows []AblationRow
+	var pts []ablationPoint
 	for _, scale := range []float64{0.5, 1, 2, 4} {
 		sys := core.DefaultSystem(8)
 		sys.HW.Link.BandwidthBytesPerSec = hw.Siracusa().Link.BandwidthBytesPerSec * scale
-		r, err := core.Run(sys, wl)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Label: fmt.Sprintf("link-x%g", scale), Chips: 8, Cycles: r.Cycles,
-			C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
-		})
+		pts = append(pts, ablationPoint{label: fmt.Sprintf("link-x%g", scale), sys: sys, wl: wl})
 	}
-	return rows, nil
+	return runAblation(pts)
 }

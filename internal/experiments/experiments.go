@@ -2,6 +2,15 @@
 // paper's evaluation section from the simulator, plus the ablations
 // called out in DESIGN.md. Each experiment returns structured data;
 // cmd/paperrepro renders them and the root benchmarks wrap them.
+//
+// Concurrency model: every experiment evaluates its configurations
+// through the shared evalpool engine — points fan out across the
+// worker pool and land in the process-wide memoized report cache, so
+// rows arrive in deterministic order, repeated runs of an experiment
+// are free, and configurations shared between figures (the 1-chip
+// TinyLlama baseline appears in Fig. 4, Fig. 5, Table I, and the
+// headline metrics) are simulated once per process. Output is
+// byte-identical to the serial core.Run path.
 package experiments
 
 import (
@@ -9,6 +18,7 @@ import (
 
 	"mcudist/internal/core"
 	"mcudist/internal/deploy"
+	"mcudist/internal/evalpool"
 	"mcudist/internal/model"
 	"mcudist/internal/perfsim"
 )
@@ -30,13 +40,13 @@ type Fig4Result struct {
 }
 
 func breakdownSweep(name string, wl core.Workload, chips []int) (*Fig4Result, error) {
-	reports, err := core.Sweep(core.DefaultSystem(1), wl, chips)
+	reports, err := evalpool.Eval(core.DefaultSystem(1), wl, chips)
 	if err != nil {
 		return nil, err
 	}
 	base := reports[0]
 	if chips[0] != 1 {
-		b, err := core.Run(core.DefaultSystem(1), wl)
+		b, err := evalpool.Run(core.DefaultSystem(1), wl)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +108,7 @@ func energySweep(name string, wl core.Workload, chips []int, scaled bool, acc *F
 	if acc == nil {
 		acc = &Fig5Result{Name: name}
 	}
-	reports, err := core.Sweep(core.DefaultSystem(1), wl, chips)
+	reports, err := evalpool.Eval(core.DefaultSystem(1), wl, chips)
 	if err != nil {
 		return nil, err
 	}
@@ -166,11 +176,11 @@ type Fig6Result struct {
 func Fig6() (*Fig6Result, error) {
 	cfg := model.TinyLlamaScaled64()
 	chips := []int{1, 2, 4, 8, 16, 32, 64}
-	ar, err := core.Sweep(core.DefaultSystem(1), core.Workload{Model: cfg, Mode: model.Autoregressive}, chips)
+	ar, err := evalpool.Eval(core.DefaultSystem(1), core.Workload{Model: cfg, Mode: model.Autoregressive}, chips)
 	if err != nil {
 		return nil, err
 	}
-	pr, err := core.Sweep(core.DefaultSystem(1), core.Workload{Model: cfg, Mode: model.Prompt}, chips)
+	pr, err := evalpool.Eval(core.DefaultSystem(1), core.Workload{Model: cfg, Mode: model.Prompt}, chips)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"mcudist/internal/core"
+	"mcudist/internal/evalpool"
 	"mcudist/internal/explore"
 	"mcudist/internal/hw"
 	"mcudist/internal/interconnect"
@@ -27,7 +28,7 @@ type GridRow struct {
 func ExtensionFullGrid() ([]GridRow, error) {
 	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}
 	chips := explore.LegalChipCounts(wl.Model, 8)
-	reports, err := core.Sweep(core.DefaultSystem(1), wl, chips)
+	reports, err := evalpool.Eval(core.DefaultSystem(1), wl, chips)
 	if err != nil {
 		return nil, err
 	}
@@ -56,22 +57,27 @@ type SeqLenRow struct {
 // compute-bound (speedups approach the chip count).
 func ExtensionSeqLenStudy() ([]SeqLenRow, error) {
 	cfg := model.TinyLlama42M()
-	var rows []SeqLenRow
-	for _, s := range []int{4, 8, 16, 32, 64, 128} {
+	lens := []int{4, 8, 16, 32, 64, 128}
+	// One (1-chip, 8-chip) pair per prompt length, all in one fan-out.
+	var points []evalpool.Point
+	for _, s := range lens {
 		wl := core.Workload{Model: cfg, Mode: model.Prompt, SeqLen: s}
-		one, err := core.Run(core.DefaultSystem(1), wl)
-		if err != nil {
-			return nil, err
-		}
-		eight, err := core.Run(core.DefaultSystem(8), wl)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, SeqLenRow{
+		points = append(points,
+			evalpool.Point{System: core.DefaultSystem(1), Workload: wl},
+			evalpool.Point{System: core.DefaultSystem(8), Workload: wl})
+	}
+	reports, err := evalpool.Map(points)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SeqLenRow, len(lens))
+	for i, s := range lens {
+		one, eight := reports[2*i], reports[2*i+1]
+		rows[i] = SeqLenRow{
 			SeqLen:   s,
 			Speedup8: core.Speedup(one, eight),
 			L3Share1: one.Breakdown.L3 / one.Cycles,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -90,19 +96,26 @@ type ContextRow struct {
 // budget.
 func ExtensionContextStudy() ([]ContextRow, error) {
 	cfg := model.TinyLlama42M()
-	var rows []ContextRow
-	for _, ctx := range []int{32, 64, 128, 256, 512, 1024} {
-		rep, err := core.Run(core.DefaultSystem(8),
-			core.Workload{Model: cfg, Mode: model.Autoregressive, SeqLen: ctx})
-		if err != nil {
-			return nil, err
+	ctxs := []int{32, 64, 128, 256, 512, 1024}
+	points := make([]evalpool.Point, len(ctxs))
+	for i, ctx := range ctxs {
+		points[i] = evalpool.Point{
+			System:   core.DefaultSystem(8),
+			Workload: core.Workload{Model: cfg, Mode: model.Autoregressive, SeqLen: ctx},
 		}
-		rows = append(rows, ContextRow{
-			Context:    ctx,
+	}
+	reports, err := evalpool.Map(points)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ContextRow, len(ctxs))
+	for i, rep := range reports {
+		rows[i] = ContextRow{
+			Context:    ctxs[i],
 			CyclesPer8: rep.Cycles,
 			EnergyMJ8:  rep.Energy.Total() * 1e3,
 			Tier:       rep.Tier.String(),
-		})
+		}
 	}
 	return rows, nil
 }
@@ -133,7 +146,7 @@ func ExtensionLMHeadStudy() ([]LMHeadRow, error) {
 	e := kernels.Elem{Weight: cfg.WeightBytes, Act: cfg.ActBytes, Acc: cfg.AccBytes, Reduce: cfg.ReduceBytes}
 	var rows []LMHeadRow
 	for _, n := range []int{1, 8} {
-		rep, err := core.Run(core.DefaultSystem(n),
+		rep, err := evalpool.Run(core.DefaultSystem(n),
 			core.Workload{Model: cfg, Mode: model.Autoregressive})
 		if err != nil {
 			return nil, err
@@ -179,13 +192,13 @@ func ExtensionBatchingStudy() ([]BatchRow, error) {
 	cfg := model.TinyLlama42M()
 	wl := core.Workload{Model: cfg, Mode: model.Prompt, SeqLen: 16}
 
-	ours, err := core.Run(core.DefaultSystem(8), wl)
+	ours, err := evalpool.Run(core.DefaultSystem(8), wl)
 	if err != nil {
 		return nil, err
 	}
 	pipeSys := core.DefaultSystem(8)
 	pipeSys.Strategy = partition.Pipeline
-	pipe, err := core.Run(pipeSys, wl)
+	pipe, err := evalpool.Run(pipeSys, wl)
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +297,7 @@ func ExtensionGQAStudy() ([]GQARow, error) {
 		if pt, err := explore.MinChipsOffChipFree(core.DefaultSystem(1), wl, best); err == nil {
 			row.MinChipsNoL3 = pt.Chips
 		}
-		rep, err := core.Run(core.DefaultSystem(best), wl)
+		rep, err := evalpool.Run(core.DefaultSystem(best), wl)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"mcudist/internal/core"
+	"mcudist/internal/evalpool"
 	"mcudist/internal/model"
 	"mcudist/internal/partition"
 )
@@ -38,7 +39,7 @@ func RunHeadline() (*Headline, error) {
 	h := &Headline{}
 
 	ll := core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}
-	ar, err := core.Sweep(core.DefaultSystem(1), ll, []int{1, 8})
+	ar, err := evalpool.Eval(core.DefaultSystem(1), ll, []int{1, 8})
 	if err != nil {
 		return nil, err
 	}
@@ -49,21 +50,21 @@ func RunHeadline() (*Headline, error) {
 	h.AREnergyRatio = ar[1].Energy.Total() / ar[0].Energy.Total()
 	h.SyncsPerBlock = ar[1].Syncs / ll.Model.L
 
-	pr, err := core.Sweep(core.DefaultSystem(1),
+	pr, err := evalpool.Eval(core.DefaultSystem(1),
 		core.Workload{Model: model.TinyLlama42M(), Mode: model.Prompt}, []int{1, 8})
 	if err != nil {
 		return nil, err
 	}
 	h.PromptSpeedup8 = core.Speedup(pr[0], pr[1])
 
-	mb, err := core.Sweep(core.DefaultSystem(1),
+	mb, err := evalpool.Eval(core.DefaultSystem(1),
 		core.Workload{Model: model.MobileBERT512(), Mode: model.Prompt}, []int{1, 4})
 	if err != nil {
 		return nil, err
 	}
 	h.MobileBERTSpeedup4 = core.Speedup(mb[0], mb[1])
 
-	sc, err := core.Sweep(core.DefaultSystem(1),
+	sc, err := evalpool.Eval(core.DefaultSystem(1),
 		core.Workload{Model: model.TinyLlamaScaled64(), Mode: model.Autoregressive}, []int{1, 64})
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"mcudist/internal/core"
+	"mcudist/internal/evalpool"
 	"mcudist/internal/model"
 	"mcudist/internal/partition"
 )
@@ -28,15 +29,6 @@ func Table1() ([]Table1Row, error) {
 	arWL := core.Workload{Model: cfg, Mode: model.Autoregressive}
 	prWL := core.Workload{Model: cfg, Mode: model.Prompt}
 
-	baseAR, err := core.Run(core.DefaultSystem(1), arWL)
-	if err != nil {
-		return nil, err
-	}
-	basePR, err := core.Run(core.DefaultSystem(1), prWL)
-	if err != nil {
-		return nil, err
-	}
-
 	rows := []Table1Row{
 		{Work: "When the Edge Meets Transformers [21]", Strategy: partition.Replicated,
 			Pipelining: false, WeightDuplication: true},
@@ -45,17 +37,27 @@ func Table1() ([]Table1Row, error) {
 		{Work: "Ours (tensor-parallel)", Strategy: partition.TensorParallel,
 			Pipelining: false, WeightDuplication: false},
 	}
-	for i := range rows {
+
+	// Two single-chip baselines plus an (AR, prompt) pair per strategy,
+	// all evaluated in one fan-out.
+	points := []evalpool.Point{
+		{System: core.DefaultSystem(1), Workload: arWL},
+		{System: core.DefaultSystem(1), Workload: prWL},
+	}
+	for _, row := range rows {
 		sys := core.DefaultSystem(8)
-		sys.Strategy = rows[i].Strategy
-		ar, err := core.Run(sys, arWL)
-		if err != nil {
-			return nil, err
-		}
-		pr, err := core.Run(sys, prWL)
-		if err != nil {
-			return nil, err
-		}
+		sys.Strategy = row.Strategy
+		points = append(points,
+			evalpool.Point{System: sys, Workload: arWL},
+			evalpool.Point{System: sys, Workload: prWL})
+	}
+	reports, err := evalpool.Map(points)
+	if err != nil {
+		return nil, err
+	}
+	baseAR, basePR := reports[0], reports[1]
+	for i := range rows {
+		ar, pr := reports[2+2*i], reports[3+2*i]
 		rows[i].ARCycles = ar.Cycles
 		rows[i].PromptCycles = pr.Cycles
 		rows[i].ARSpeedup = core.Speedup(baseAR, ar)

@@ -4,13 +4,24 @@
 // until off-chip traffic leaves the critical path, which chip counts
 // are even legal for a geometry, and which configurations are
 // Pareto-optimal in latency and energy.
+//
+// Concurrency model: every search in this package evaluates its
+// candidates through the shared evalpool engine. Frontier fans its
+// whole point set out at once; the first-match searches
+// (MinChipsOffChipFree, BudgetFit) evaluate one worker-sized wave at
+// a time so an answer at a small chip count never pays for the large
+// ones. The sequential decision is always made over results in count
+// order, so answers are identical to the serial scan; repeated points
+// are served from the process-wide report cache.
 package explore
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"mcudist/internal/core"
+	"mcudist/internal/evalpool"
 	"mcudist/internal/model"
 )
 
@@ -53,20 +64,50 @@ func PowersOfTwo(counts []int) []int {
 	return out
 }
 
+// evalWaves evaluates counts through the pool one worker-sized wave
+// at a time, calling visit on each report in count order; visit
+// returning true stops the scan and leaves later waves unsimulated.
+// This keeps the serial scan's early-exit economics (an answer at a
+// small count never pays for the large ones) while each wave still
+// fans out across the workers.
+func evalWaves(base core.System, wl core.Workload, counts []int, visit func(i int, rep *core.Report) bool) error {
+	wave := evalpool.Default().Workers()
+	for start := 0; start < len(counts); start += wave {
+		end := start + wave
+		if end > len(counts) {
+			end = len(counts)
+		}
+		reports, err := evalpool.Eval(base, wl, counts[start:end])
+		if err != nil {
+			return err
+		}
+		for i, rep := range reports {
+			if visit(start+i, rep) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
 // MinChipsOffChipFree returns the smallest chip count (≤ maxChips)
 // whose deployment keeps L3 off the runtime critical path, together
 // with its report. It returns an error if no configuration qualifies.
 func MinChipsOffChipFree(base core.System, wl core.Workload, maxChips int) (*Point, error) {
-	for _, n := range LegalChipCounts(wl.Model, maxChips) {
-		sys := base
-		sys.Chips = n
-		rep, err := core.Run(sys, wl)
-		if err != nil {
-			return nil, err
-		}
+	counts := LegalChipCounts(wl.Model, maxChips)
+	var found *Point
+	err := evalWaves(base, wl, counts, func(i int, rep *core.Report) bool {
 		if rep.Tier.OffChipFree() {
-			return &Point{Chips: n, Report: rep}, nil
+			found = &Point{Chips: counts[i], Report: rep}
+			return true
 		}
+		return false
+	})
+	if err != nil {
+		return nil, err
+	}
+	if found != nil {
+		return found, nil
 	}
 	return nil, fmt.Errorf("explore: no configuration up to %d chips runs %s off-chip free",
 		maxChips, wl.Model.Name)
@@ -75,38 +116,59 @@ func MinChipsOffChipFree(base core.System, wl core.Workload, maxChips int) (*Poi
 // Frontier evaluates the workload at the given chip counts and marks
 // the latency/energy Pareto front.
 func Frontier(base core.System, wl core.Workload, chips []int) ([]Point, error) {
-	points := make([]Point, 0, len(chips))
-	for _, n := range chips {
-		sys := base
-		sys.Chips = n
-		rep, err := core.Run(sys, wl)
-		if err != nil {
-			return nil, fmt.Errorf("explore: %d chips: %w", n, err)
-		}
-		points = append(points, Point{Chips: n, Report: rep})
+	reports, err := evalpool.Eval(base, wl, chips)
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	points := make([]Point, len(chips))
+	for i, rep := range reports {
+		points[i] = Point{Chips: chips[i], Report: rep}
 	}
 	markPareto(points)
 	return points, nil
 }
 
-// markPareto flags points not dominated in (latency, energy).
+// markPareto flags points not dominated in (latency, energy): a point
+// is dominated when another is no worse on both axes and strictly
+// better on at least one; exact duplicates (equal latency AND equal
+// energy) do not dominate each other, so both stay on the front.
+//
+// Single pass over a latency-sorted order instead of the O(n²)
+// all-pairs scan: with candidates sorted by latency, a point can only
+// be dominated by the minimum energy seen at strictly lower latency,
+// or by a strictly lower energy at equal latency.
 func markPareto(points []Point) {
-	for i := range points {
-		dominated := false
-		for j := range points {
-			if i == j {
-				continue
-			}
-			betterOrEqual := points[j].Report.Seconds <= points[i].Report.Seconds &&
-				points[j].Report.Energy.Total() <= points[i].Report.Energy.Total()
-			strictlyBetter := points[j].Report.Seconds < points[i].Report.Seconds ||
-				points[j].Report.Energy.Total() < points[i].Report.Energy.Total()
-			if betterOrEqual && strictlyBetter {
-				dominated = true
-				break
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := points[order[a]].Report, points[order[b]].Report
+		if pa.Seconds != pb.Seconds {
+			return pa.Seconds < pb.Seconds
+		}
+		return pa.Energy.Total() < pb.Energy.Total()
+	})
+	bestEnergy := math.Inf(1) // min energy among strictly faster points
+	for g := 0; g < len(order); {
+		// One group of equal-latency points; within it only a strictly
+		// lower energy dominates, so the group minimum survives
+		// (duplicates of the minimum included).
+		sec := points[order[g]].Report.Seconds
+		end := g
+		groupMin := math.Inf(1)
+		for ; end < len(order) && points[order[end]].Report.Seconds == sec; end++ {
+			if e := points[order[end]].Report.Energy.Total(); e < groupMin {
+				groupMin = e
 			}
 		}
-		points[i].Pareto = !dominated
+		for ; g < end; g++ {
+			e := points[order[g]].Report.Energy.Total()
+			points[order[g]].Pareto = bestEnergy > e && groupMin >= e
+		}
+		if groupMin < bestEnergy {
+			bestEnergy = groupMin
+		}
 	}
 }
 
@@ -129,25 +191,27 @@ func ParetoFront(points []Point) []Point {
 // both a latency and an energy budget, or an error naming the binding
 // constraint.
 func BudgetFit(base core.System, wl core.Workload, maxChips int, maxSeconds, maxJoules float64) (*Point, error) {
-	var bestLatency, bestEnergy float64
-	first := true
-	for _, n := range LegalChipCounts(wl.Model, maxChips) {
-		sys := base
-		sys.Chips = n
-		rep, err := core.Run(sys, wl)
-		if err != nil {
-			return nil, err
-		}
-		if first || rep.Seconds < bestLatency {
+	counts := LegalChipCounts(wl.Model, maxChips)
+	bestLatency, bestEnergy := math.Inf(1), math.Inf(1)
+	var found *Point
+	err := evalWaves(base, wl, counts, func(i int, rep *core.Report) bool {
+		if rep.Seconds < bestLatency {
 			bestLatency = rep.Seconds
 		}
-		if first || rep.Energy.Total() < bestEnergy {
+		if rep.Energy.Total() < bestEnergy {
 			bestEnergy = rep.Energy.Total()
 		}
-		first = false
 		if rep.Seconds <= maxSeconds && rep.Energy.Total() <= maxJoules {
-			return &Point{Chips: n, Report: rep}, nil
+			found = &Point{Chips: counts[i], Report: rep}
+			return true
 		}
+		return false
+	})
+	if err != nil {
+		return nil, err
+	}
+	if found != nil {
+		return found, nil
 	}
 	if bestLatency > maxSeconds {
 		return nil, fmt.Errorf("explore: latency budget %.3g s unreachable (best %.3g s)", maxSeconds, bestLatency)

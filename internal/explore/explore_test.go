@@ -113,6 +113,71 @@ func TestFrontierAndPareto(t *testing.T) {
 	}
 }
 
+// paretoPoints fabricates a point set from (latency, energy) pairs;
+// energy is placed entirely in the compute term.
+func paretoPoints(latEnergy [][2]float64) []Point {
+	out := make([]Point, len(latEnergy))
+	for i, le := range latEnergy {
+		rep := &core.Report{Seconds: le[0]}
+		rep.Energy.Compute = le[1]
+		out[i] = Point{Chips: i + 1, Report: rep}
+	}
+	return out
+}
+
+// markParetoReference is the original all-pairs domination scan, kept
+// as the semantic oracle for the sorted single-pass implementation.
+func markParetoReference(points []Point) {
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			betterOrEqual := points[j].Report.Seconds <= points[i].Report.Seconds &&
+				points[j].Report.Energy.Total() <= points[i].Report.Energy.Total()
+			strictlyBetter := points[j].Report.Seconds < points[i].Report.Seconds ||
+				points[j].Report.Energy.Total() < points[i].Report.Energy.Total()
+			if betterOrEqual && strictlyBetter {
+				dominated = true
+				break
+			}
+		}
+		points[i].Pareto = !dominated
+	}
+}
+
+func TestMarkParetoMatchesReference(t *testing.T) {
+	cases := map[string][][2]float64{
+		"empty":          {},
+		"single":         {{1, 1}},
+		"chain":          {{4, 1}, {3, 2}, {2, 3}, {1, 4}},
+		"dominated":      {{1, 1}, {2, 2}, {3, 3}},
+		"duplicates":     {{1, 1}, {1, 1}, {2, 0.5}, {2, 0.5}},
+		"equal-latency":  {{1, 3}, {1, 2}, {1, 2}, {1, 4}},
+		"equal-energy":   {{3, 1}, {2, 1}, {4, 1}, {2, 1}},
+		"mixed-ties":     {{1, 5}, {2, 5}, {2, 4}, {3, 4}, {3, 3}, {1, 5}},
+		"unsorted-input": {{5, 1}, {1, 5}, {3, 3}, {2, 3}, {3, 2}, {4, 4}},
+	}
+	for name, le := range cases {
+		t.Run(name, func(t *testing.T) {
+			got := paretoPoints(le)
+			want := paretoPoints(le)
+			markPareto(got)
+			markParetoReference(want)
+			for i := range got {
+				if got[i].Pareto != want[i].Pareto {
+					t.Errorf("point %d (lat=%g, energy=%g): Pareto=%v, reference says %v",
+						i, le[i][0], le[i][1], got[i].Pareto, want[i].Pareto)
+				}
+				if got[i].Chips != want[i].Chips {
+					t.Errorf("point %d: input order disturbed", i)
+				}
+			}
+		})
+	}
+}
+
 func TestBudgetFit(t *testing.T) {
 	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}
 	// Generous budgets: smallest qualifying count wins.

@@ -21,6 +21,7 @@ package mcudist
 import (
 	"mcudist/internal/core"
 	"mcudist/internal/deploy"
+	"mcudist/internal/evalpool"
 	"mcudist/internal/explore"
 	"mcudist/internal/hw"
 	"mcudist/internal/model"
@@ -92,12 +93,32 @@ const (
 )
 
 // Run plans, simulates, and evaluates one workload on one system.
-func Run(sys System, wl Workload) (*Report, error) { return core.Run(sys, wl) }
+// Like Sweep, it is served from the process-wide memoized cache: a
+// configuration already evaluated by any Run, Sweep, or experiment is
+// returned instantly, and the report may be shared — treat it as
+// immutable.
+func Run(sys System, wl Workload) (*Report, error) { return evalpool.Run(sys, wl) }
 
-// Sweep runs a workload across several chip counts.
+// Sweep runs a workload across several chip counts, evaluating the
+// configurations concurrently on the shared worker pool (results are
+// identical to the serial path and returned in chip-list order).
+//
+// Returned reports come from a process-wide memoized cache and may be
+// shared with other Sweep, Frontier, or experiment calls: treat them
+// as immutable. Long-lived processes sweeping many distinct
+// configurations can release the cache with ResetCache.
 func Sweep(base System, wl Workload, chips []int) ([]*Report, error) {
-	return core.Sweep(base, wl, chips)
+	return evalpool.Eval(base, wl, chips)
 }
+
+// SetWorkers bounds the concurrency of Sweep and every experiment
+// (<= 0 restores the GOMAXPROCS default). The accumulated report
+// cache is dropped.
+func SetWorkers(n int) { evalpool.SetWorkers(n) }
+
+// ResetCache drops every memoized report, releasing the memory a
+// long-lived design-space exploration accumulates.
+func ResetCache() { evalpool.ResetCache() }
 
 // Speedup returns base.Cycles / r.Cycles.
 func Speedup(base, r *Report) float64 { return core.Speedup(base, r) }

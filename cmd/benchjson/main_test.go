@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: mcudist
+cpu: AMD EPYC 7B13
+BenchmarkFig4aTinyLlamaAutoregressive-8   	       1	  52034567 ns/op	        26.10 speedup_8chips	         2.60 energy_mJ_max_chips
+BenchmarkSingleRun8Chips-8                	     100	    123456 ns/op	    4096 B/op	      12 allocs/op
+--- some test chatter that must be ignored
+PASS
+ok  	mcudist	1.234s
+pkg: mcudist/internal/kernels
+BenchmarkGEMM 	       2	   1000 ns/op
+`
+
+func TestParse(t *testing.T) {
+	rec, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.GoOS != "linux" || rec.GoArch != "amd64" || rec.CPU != "AMD EPYC 7B13" {
+		t.Errorf("headers = %q %q %q", rec.GoOS, rec.GoArch, rec.CPU)
+	}
+	if len(rec.Benchmarks) != 3 {
+		t.Fatalf("%d benchmarks, want 3", len(rec.Benchmarks))
+	}
+
+	fig := rec.Benchmarks[0]
+	if fig.Name != "BenchmarkFig4aTinyLlamaAutoregressive" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", fig.Name)
+	}
+	if fig.Package != "mcudist" || fig.Iterations != 1 {
+		t.Errorf("pkg/iters = %q/%d", fig.Package, fig.Iterations)
+	}
+	if fig.Metrics["speedup_8chips"] != 26.10 || fig.Metrics["ns/op"] != 52034567 {
+		t.Errorf("metrics = %v", fig.Metrics)
+	}
+
+	allocs := rec.Benchmarks[1]
+	if allocs.Metrics["B/op"] != 4096 || allocs.Metrics["allocs/op"] != 12 {
+		t.Errorf("alloc metrics = %v", allocs.Metrics)
+	}
+
+	gemm := rec.Benchmarks[2]
+	if gemm.Name != "BenchmarkGEMM" || gemm.Package != "mcudist/internal/kernels" {
+		t.Errorf("second package not tracked: %+v", gemm)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	rec, err := parse(strings.NewReader("PASS\nok \tmcudist\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from non-bench output", len(rec.Benchmarks))
+	}
+}

@@ -27,7 +27,7 @@ type step struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations extensions")
+	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations topology extensions")
 	workers := flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 	flag.Parse()
 	evalpool.SetWorkers(*workers)
@@ -43,6 +43,7 @@ func main() {
 		{"table1", table1},
 		{"headline", headline},
 		{"ablations", ablations},
+		{"topology", topology},
 		{"extensions", extensions},
 	}
 	ran := 0
@@ -163,21 +164,36 @@ func ablations() error {
 		{"compute straggler (thermal throttling)", experiments.AblationStraggler},
 	}
 	for _, k := range kinds {
-		rows, err := k.run()
-		if err != nil {
+		if err := ablationTable(k.name, k.run); err != nil {
 			return err
 		}
-		t := report.NewTable("Ablation: "+k.name,
-			"config", "chips", "cycles", "c2c_bytes", "energy_mJ")
-		for _, r := range rows {
-			t.AddRow(r.Label, r.Chips, r.Cycles, r.C2CBytes, r.EnergyMJ)
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
 	}
 	return nil
+}
+
+func ablationTable(name string, run func() ([]experiments.AblationRow, error)) error {
+	rows, err := run()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation: "+name,
+		"config", "chips", "cycles", "c2c_cycles", "c2c_bytes", "energy_mJ")
+	for _, r := range rows {
+		t.AddRow(r.Label, r.Chips, r.Cycles, r.C2CCycles, r.C2CBytes, r.EnergyMJ)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+// topology renders the interconnect-shape ablation: all four
+// topologies (hierarchical tree, flat star, ring all-reduce,
+// fully-connected all-to-all) at the paper's chip counts.
+func topology() error {
+	return ablationTable("interconnect topology (tree / star / ring / fully-connected)",
+		experiments.AblationTopologyShapes)
 }
 
 func extensions() error {

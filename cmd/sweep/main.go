@@ -6,6 +6,7 @@
 //
 //	sweep -model tinyllama -mode autoregressive -chips 1,2,4,8
 //	sweep -model scaled -mode prompt -chips 1,2,4,8,16,32,64 -workers 4
+//	sweep -model tinyllama -mode prompt -chips 8 -topology ring
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"mcudist/internal/core"
 	"mcudist/internal/evalpool"
+	"mcudist/internal/hw"
 	"mcudist/internal/model"
 	"mcudist/internal/report"
 )
@@ -27,10 +29,16 @@ func main() {
 		modeName  = flag.String("mode", "autoregressive", "mode: autoregressive | prompt")
 		chipsList = flag.String("chips", "1,2,4,8", "comma-separated chip counts")
 		seqLen    = flag.Int("seqlen", 0, "sequence length (0 = paper default)")
+		topoName  = flag.String("topology", "tree", "interconnect shape: tree | star | ring | fully-connected")
 		workers   = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	evalpool.SetWorkers(*workers)
+
+	topo, err := hw.ParseTopology(*topoName)
+	if err != nil {
+		fatal(err)
+	}
 
 	var cfg model.Config
 	switch strings.ToLower(*modelName) {
@@ -58,7 +66,9 @@ func main() {
 	}
 
 	wl := core.Workload{Model: cfg, Mode: mode, SeqLen: *seqLen}
-	reports, err := evalpool.Eval(core.DefaultSystem(1), wl, chips)
+	base1 := core.DefaultSystem(1)
+	base1.HW.Topology = topo
+	reports, err := evalpool.Eval(base1, wl, chips)
 	if err != nil {
 		fatal(err)
 	}

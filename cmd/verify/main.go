@@ -6,11 +6,19 @@
 //
 // This is the release gate for the paper's premise: the partitioning
 // computes the same function.
+//
+// Usage:
+//
+//	verify                # every full-scale check
+//	verify -only smollm   # checks whose name contains the substring
+//	                      # (CI smoke-runs the fastest check this way)
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mcudist/internal/model"
@@ -25,6 +33,8 @@ type check struct {
 }
 
 func main() {
+	only := flag.String("only", "", "run only checks whose name contains this substring")
+	flag.Parse()
 	checks := []check{
 		{"tinyllama float32, 8 chips, prompt S=8", tinyLlamaFloat},
 		{"tinyllama float32, 8 chips, prefill+4 decode steps", tinyLlamaDecode},
@@ -33,8 +43,12 @@ func main() {
 		{"mobilebert float32, 4 chips, S=32", mobileBERTFloat},
 		{"smollm GQA float32, 3 chips, S=8", smolLMFloat},
 	}
-	failed := 0
+	failed, ran := 0, 0
 	for _, c := range checks {
+		if *only != "" && !strings.Contains(c.name, *only) {
+			continue
+		}
+		ran++
 		start := time.Now()
 		detail, err := c.run()
 		status := "ok"
@@ -44,11 +58,15 @@ func main() {
 		}
 		fmt.Printf("%-55s %-6s %s (%.1fs)\n", c.name, status, detail, time.Since(start).Seconds())
 	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "verify: no check matches %q\n", *only)
+		os.Exit(1)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "verify: %d check(s) failed\n", failed)
 		os.Exit(1)
 	}
-	fmt.Println("all full-scale checks passed")
+	fmt.Printf("all %d full-scale checks passed\n", ran)
 }
 
 func tinyLlamaFloat() (string, error) {

@@ -1,0 +1,78 @@
+package evalpool
+
+import (
+	"reflect"
+	"testing"
+
+	"mcudist/internal/core"
+	"mcudist/internal/hw"
+	"mcudist/internal/model"
+)
+
+// The memoized report cache keys on Point — the full (System,
+// Workload) configuration, including the topology selector. Every
+// field added to core.System, hw.Params, deploy.Options, or
+// model.Config must keep the structs comparable, or the cache map
+// silently stops compiling/deduplicating. This test turns that
+// contract into a regression: it fails the moment someone adds a
+// slice, map, or function field to any struct reachable from Point.
+func TestPointStaysComparable(t *testing.T) {
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(Point{}),
+		reflect.TypeOf(core.System{}),
+		reflect.TypeOf(core.Workload{}),
+		reflect.TypeOf(hw.Params{}),
+	} {
+		if !typ.Comparable() {
+			t.Errorf("%s is no longer comparable; the evalpool cache key is broken", typ)
+		}
+	}
+}
+
+// Beyond static comparability, the key must behave: two value-equal
+// configurations must collide on one cache entry, and flipping any
+// axis — including the new topology field — must miss.
+func TestPointKeyBehaviour(t *testing.T) {
+	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}
+	a := Point{System: core.DefaultSystem(8), Workload: wl}
+	b := Point{System: core.DefaultSystem(8), Workload: wl}
+
+	cache := map[Point]int{}
+	cache[a]++
+	cache[b]++
+	if len(cache) != 1 || cache[a] != 2 {
+		t.Fatalf("value-equal points did not collide: %d entries", len(cache))
+	}
+
+	ring := b
+	ring.System.HW.Topology = hw.TopoRing
+	cache[ring]++
+	if len(cache) != 2 {
+		t.Fatal("topology change did not produce a distinct cache key")
+	}
+
+	// The live pool must dedupe the same way: same config twice is
+	// one simulation, a different topology is a second one.
+	p := New(1)
+	r1, err := p.Run(a.System, a.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Run(b.System, b.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical configurations returned distinct reports (cache miss)")
+	}
+	r3, err := p.Run(ring.System, ring.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("ring topology served the tree topology's cached report")
+	}
+	if r3.Cycles == r1.Cycles {
+		t.Error("ring and tree reports coincide exactly; topology likely ignored")
+	}
+}

@@ -12,11 +12,12 @@ import (
 
 // AblationRow is one configuration of an ablation sweep.
 type AblationRow struct {
-	Label    string
-	Chips    int
-	Cycles   float64
-	C2CBytes int64
-	EnergyMJ float64
+	Label     string
+	Chips     int
+	Cycles    float64
+	C2CCycles float64 // chip-to-chip share of the runtime breakdown
+	C2CBytes  int64
+	EnergyMJ  float64
 }
 
 // ablationPoint is one labeled configuration of an ablation.
@@ -41,7 +42,8 @@ func runAblation(pts []ablationPoint) ([]AblationRow, error) {
 	for i, r := range reports {
 		rows[i] = AblationRow{
 			Label: pts[i].label, Chips: pts[i].sys.Chips, Cycles: r.Cycles,
-			C2CBytes: r.C2CBytes, EnergyMJ: r.Energy.Total() * 1e3,
+			C2CCycles: r.Breakdown.C2C, C2CBytes: r.C2CBytes,
+			EnergyMJ: r.Energy.Total() * 1e3,
 		}
 	}
 	return rows, nil
@@ -50,7 +52,9 @@ func runAblation(pts []ablationPoint) ([]AblationRow, error) {
 // AblationReduceTopology compares the paper's hierarchical groups-of-4
 // reduction against a flat all-to-one reduce at scale — the design
 // choice Fig. 1 motivates ("an all-to-one reduce operation lacks the
-// required scalability").
+// required scalability"). The flat baseline is the explicit TopoStar
+// topology (it used to require abusing GroupSize >= n, which built the
+// same degenerate one-group tree).
 func AblationReduceTopology() ([]AblationRow, error) {
 	wl := core.Workload{Model: model.TinyLlamaScaled64(), Mode: model.Prompt}
 	var pts []ablationPoint
@@ -59,10 +63,47 @@ func AblationReduceTopology() ([]AblationRow, error) {
 			sys := core.DefaultSystem(n)
 			label := "hierarchical-4"
 			if flat {
-				sys.HW.GroupSize = n // one flat group: all-to-one
+				sys.HW.Topology = hw.TopoStar
 				label = "flat-all-to-one"
 			}
 			pts = append(pts, ablationPoint{label: label, sys: sys, wl: wl})
+		}
+	}
+	return runAblation(pts)
+}
+
+// AblationTopologyShapes is the full topology ablation: all four
+// interconnect shapes at the paper's chip counts, in the prompt mode
+// where collective payloads are largest, reporting latency, the
+// chip-to-chip runtime share, link traffic, and energy. The shape of
+// the result: the ring's payload/N chunks and sharded root work win
+// the large-payload prompt collectives from 8 chips up, the star's
+// serialized root accumulation collapses at scale, the fully-connected
+// exchange buys the lowest hop depth with N(N-1)x the traffic (and the
+// energy bill to match), and the paper's tree stays the latency winner
+// in the small-payload autoregressive regime at 64 chips that its
+// scalability study targets (see TestAblationTopologyShapes).
+func AblationTopologyShapes() ([]AblationRow, error) {
+	scenarios := []struct {
+		cfg   model.Config
+		mode  model.Mode
+		chips int
+	}{
+		{model.TinyLlama42M(), model.Prompt, 8},
+		{model.TinyLlamaScaled64(), model.Prompt, 16},
+		{model.TinyLlamaScaled64(), model.Prompt, 64},
+		{model.TinyLlamaScaled64(), model.Autoregressive, 64},
+	}
+	var pts []ablationPoint
+	for _, sc := range scenarios {
+		for _, topo := range hw.Topologies() {
+			sys := core.DefaultSystem(sc.chips)
+			sys.HW.Topology = topo
+			pts = append(pts, ablationPoint{
+				label: topo.String() + "-" + sc.mode.String(),
+				sys:   sys,
+				wl:    core.Workload{Model: sc.cfg, Mode: sc.mode},
+			})
 		}
 	}
 	return runAblation(pts)

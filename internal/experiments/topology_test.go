@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mcudist/internal/hw"
+)
+
+// The topology ablation backs the headline claims of the topology
+// exploration axis:
+//   - the ring's payload/N chunks beat the star's whole-payload
+//     all-to-one on total latency at every prompt operating point
+//     from 8 chips up (the collective is the only difference between
+//     the two runs);
+//   - the paper's hierarchical tree stays the latency winner among
+//     all four shapes at the 64-chip autoregressive operating point
+//     its scalability study targets;
+//   - the fully-connected exchange always moves the most link bytes
+//     (N-1 times the others' traffic).
+func TestAblationTopologyShapes(t *testing.T) {
+	rows, err := AblationTopologyShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nTopos := len(hw.Topologies())
+	if len(rows)%nTopos != 0 {
+		t.Fatalf("%d rows is not a whole number of %d-topology scenarios", len(rows), nTopos)
+	}
+
+	byLabel := func(group []AblationRow, prefix string) *AblationRow {
+		for i := range group {
+			if strings.HasPrefix(group[i].Label, prefix) {
+				return &group[i]
+			}
+		}
+		return nil
+	}
+
+	for g := 0; g < len(rows); g += nTopos {
+		group := rows[g : g+nTopos]
+		tree := byLabel(group, "tree")
+		star := byLabel(group, "star")
+		ring := byLabel(group, "ring")
+		fc := byLabel(group, "fully-connected")
+		if tree == nil || star == nil || ring == nil || fc == nil {
+			t.Fatalf("scenario at row %d missing a topology: %+v", g, group)
+		}
+
+		prompt := strings.HasSuffix(tree.Label, "-prompt")
+		if prompt && tree.Chips >= 8 && ring.Cycles >= star.Cycles {
+			t.Errorf("%d chips prompt: ring %.0f cycles not below star %.0f",
+				ring.Chips, ring.Cycles, star.Cycles)
+		}
+
+		for _, r := range []*AblationRow{tree, star, ring} {
+			if fc.C2CBytes <= r.C2CBytes {
+				t.Errorf("%d chips: fully-connected traffic %d not above %s's %d",
+					fc.Chips, fc.C2CBytes, r.Label, r.C2CBytes)
+			}
+		}
+
+		if !prompt && tree.Chips == 64 {
+			for _, r := range []*AblationRow{star, ring, fc} {
+				if tree.Cycles >= r.Cycles {
+					t.Errorf("64-chip autoregressive: tree %.0f cycles not below %s's %.0f",
+						tree.Cycles, r.Label, r.Cycles)
+				}
+			}
+		}
+	}
+
+	// The ablation must include the paper's scalability operating
+	// point (64 chips, autoregressive) where the tree wins.
+	found := false
+	for _, r := range rows {
+		if r.Chips == 64 && strings.HasSuffix(r.Label, "-autoregressive") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no 64-chip autoregressive scenario in the topology ablation")
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"mcudist/internal/core"
 	"mcudist/internal/evalpool"
+	"mcudist/internal/hw"
 	"mcudist/internal/model"
 )
 
@@ -128,22 +129,34 @@ func Frontier(base core.System, wl core.Workload, chips []int) ([]Point, error) 
 	return points, nil
 }
 
-// markPareto flags points not dominated in (latency, energy): a point
-// is dominated when another is no worse on both axes and strictly
-// better on at least one; exact duplicates (equal latency AND equal
-// energy) do not dominate each other, so both stay on the front.
+// markPareto flags points not dominated in (latency, energy).
+func markPareto(points []Point) {
+	reports := make([]*core.Report, len(points))
+	for i := range points {
+		reports[i] = points[i].Report
+	}
+	for i, p := range paretoMask(reports) {
+		points[i].Pareto = p
+	}
+}
+
+// paretoMask flags reports not dominated in (latency, energy): a
+// report is dominated when another is no worse on both axes and
+// strictly better on at least one; exact duplicates (equal latency AND
+// equal energy) do not dominate each other, so both stay on the front.
 //
 // Single pass over a latency-sorted order instead of the O(n²)
 // all-pairs scan: with candidates sorted by latency, a point can only
 // be dominated by the minimum energy seen at strictly lower latency,
 // or by a strictly lower energy at equal latency.
-func markPareto(points []Point) {
-	order := make([]int, len(points))
+func paretoMask(reports []*core.Report) []bool {
+	pareto := make([]bool, len(reports))
+	order := make([]int, len(reports))
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		pa, pb := points[order[a]].Report, points[order[b]].Report
+		pa, pb := reports[order[a]], reports[order[b]]
 		if pa.Seconds != pb.Seconds {
 			return pa.Seconds < pb.Seconds
 		}
@@ -154,22 +167,23 @@ func markPareto(points []Point) {
 		// One group of equal-latency points; within it only a strictly
 		// lower energy dominates, so the group minimum survives
 		// (duplicates of the minimum included).
-		sec := points[order[g]].Report.Seconds
+		sec := reports[order[g]].Seconds
 		end := g
 		groupMin := math.Inf(1)
-		for ; end < len(order) && points[order[end]].Report.Seconds == sec; end++ {
-			if e := points[order[end]].Report.Energy.Total(); e < groupMin {
+		for ; end < len(order) && reports[order[end]].Seconds == sec; end++ {
+			if e := reports[order[end]].Energy.Total(); e < groupMin {
 				groupMin = e
 			}
 		}
 		for ; g < end; g++ {
-			e := points[order[g]].Report.Energy.Total()
-			points[order[g]].Pareto = bestEnergy > e && groupMin >= e
+			e := reports[order[g]].Energy.Total()
+			pareto[order[g]] = bestEnergy > e && groupMin >= e
 		}
 		if groupMin < bestEnergy {
 			bestEnergy = groupMin
 		}
 	}
+	return pareto
 }
 
 // ParetoFront returns only the Pareto-optimal points, ordered by
@@ -185,6 +199,73 @@ func ParetoFront(points []Point) []Point {
 		return out[i].Report.Seconds < out[j].Report.Seconds
 	})
 	return out
+}
+
+// TopologyPoint is one evaluated (topology, chip count) configuration
+// of a topology-aware design-space sweep.
+type TopologyPoint struct {
+	Topology hw.Topology
+	Chips    int
+	Report   *core.Report
+	// Pareto marks latency/energy Pareto-optimal points within the
+	// explored topology × chip-count grid.
+	Pareto bool
+}
+
+// TopologyFrontier evaluates the workload over the full topology ×
+// chip-count grid and marks the latency/energy Pareto front across
+// the union — the network shape becomes an exploration axis next to
+// the chip count. Points are returned grouped by topology in enum
+// order, chip counts ascending within each topology.
+func TopologyFrontier(base core.System, wl core.Workload, chips []int) ([]TopologyPoint, error) {
+	topos := hw.Topologies()
+	points := make([]evalpool.Point, 0, len(topos)*len(chips))
+	out := make([]TopologyPoint, 0, len(topos)*len(chips))
+	for _, topo := range topos {
+		for _, n := range chips {
+			sys := base
+			sys.HW.Topology = topo
+			sys.Chips = n
+			points = append(points, evalpool.Point{System: sys, Workload: wl})
+			out = append(out, TopologyPoint{Topology: topo, Chips: n})
+		}
+	}
+	reports, err := evalpool.Map(points)
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	for i, rep := range reports {
+		out[i].Report = rep
+	}
+	for i, p := range paretoMask(reports) {
+		out[i].Pareto = p
+	}
+	return out, nil
+}
+
+// BestTopology evaluates every interconnect shape on the base system
+// (at its chip count) and returns the lowest-latency one with its
+// report. Ties keep the earliest shape in enum order, so the paper's
+// tree wins exact draws.
+func BestTopology(base core.System, wl core.Workload) (hw.Topology, *core.Report, error) {
+	topos := hw.Topologies()
+	points := make([]evalpool.Point, len(topos))
+	for i, topo := range topos {
+		sys := base
+		sys.HW.Topology = topo
+		points[i] = evalpool.Point{System: sys, Workload: wl}
+	}
+	reports, err := evalpool.Map(points)
+	if err != nil {
+		return 0, nil, fmt.Errorf("explore: %w", err)
+	}
+	best := 0
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Cycles < reports[best].Cycles {
+			best = i
+		}
+	}
+	return topos[best], reports[best], nil
 }
 
 // BudgetFit returns the cheapest (fewest-chip) configuration meeting

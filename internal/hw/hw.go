@@ -11,6 +11,7 @@ package hw
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Byte-size helpers.
@@ -79,6 +80,79 @@ type Link struct {
 	EnergyPJPerByte float64
 }
 
+// Topology selects the interconnect shape of the chip-to-chip
+// network. internal/interconnect turns a Topology into a link graph
+// plus reduce/broadcast hop schedules; the performance simulator
+// executes whatever schedule it is handed, so the network shape is a
+// design variable of the platform rather than a property baked into
+// the simulator.
+type Topology int
+
+const (
+	// TopoTree is the paper's hierarchical reduction tree in groups
+	// of GroupSize chips (Fig. 1). It is the zero value, so every
+	// configuration that predates the topology axis keeps reproducing
+	// the paper's numbers unchanged.
+	TopoTree Topology = iota
+	// TopoStar is the flat all-to-one reduction the paper rejects for
+	// scalability: every chip sends its full partial straight to the
+	// root, whose accumulations serialize. (Formerly only reachable
+	// by setting GroupSize >= Chips.)
+	TopoStar
+	// TopoRing is the bandwidth-optimal ring all-reduce: 2(N-1) steps
+	// moving payload/N chunks, with the root's residual work sharded
+	// across all chips.
+	TopoRing
+	// TopoFullyConnected exchanges every partial pairwise: each chip
+	// sends its full partial to every other chip and reduces locally.
+	// Lowest schedule depth, N(N-1) times the reduce traffic, and no
+	// broadcast phase.
+	TopoFullyConnected
+
+	topologyCount // sentinel for validation
+)
+
+// Topologies returns every supported interconnect shape, in enum
+// order (the design-space exploration axis).
+func Topologies() []Topology {
+	return []Topology{TopoTree, TopoStar, TopoRing, TopoFullyConnected}
+}
+
+func (t Topology) String() string {
+	switch t {
+	case TopoTree:
+		return "tree"
+	case TopoStar:
+		return "star"
+	case TopoRing:
+		return "ring"
+	case TopoFullyConnected:
+		return "fully-connected"
+	default:
+		return fmt.Sprintf("topology(%d)", int(t))
+	}
+}
+
+// Valid reports whether t names a supported topology.
+func (t Topology) Valid() bool { return t >= 0 && t < topologyCount }
+
+// ParseTopology maps a command-line spelling to a Topology. Accepted
+// names: tree, star, ring, full | fully-connected | all-to-all.
+func ParseTopology(s string) (Topology, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "tree", "hierarchical":
+		return TopoTree, nil
+	case "star", "flat", "all-to-one":
+		return TopoStar, nil
+	case "ring":
+		return TopoRing, nil
+	case "full", "fully-connected", "all-to-all", "fc":
+		return TopoFullyConnected, nil
+	default:
+		return 0, fmt.Errorf("hw: unknown topology %q (want tree | star | ring | fully-connected)", s)
+	}
+}
+
 // Energy holds the constants of the paper's analytical energy model.
 type Energy struct {
 	// L3PJPerByte is the energy of moving one byte between L3 and L2.
@@ -93,8 +167,15 @@ type Params struct {
 	Link   Link
 	Energy Energy
 	// GroupSize is the fan-in of the hierarchical all-reduce tree
-	// (the paper uses groups of four chips).
+	// (the paper uses groups of four chips). Only TopoTree consults
+	// it.
 	GroupSize int
+	// Topology selects the interconnect shape. The zero value is the
+	// paper's hierarchical tree, so existing configurations are
+	// unchanged. Params stays a comparable value type: the evalpool
+	// report cache keys on it, so the topology participates in
+	// memoization like every other hardware parameter.
+	Topology Topology
 }
 
 // Siracusa returns the default parameter set modeling the system of the
@@ -193,7 +274,10 @@ func (p Params) Validate() error {
 		return errors.New("hw: energy constants must be non-negative")
 	}
 	if p.GroupSize < 2 {
-		return errors.New("hw: reduce group size must be at least 2")
+		return errors.New("hw: reduce group size must be at least 2 (select TopoStar for a flat all-to-one reduction)")
+	}
+	if !p.Topology.Valid() {
+		return fmt.Errorf("hw: %s is not a supported topology", p.Topology)
 	}
 	return nil
 }

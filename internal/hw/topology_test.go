@@ -1,0 +1,38 @@
+package hw
+
+import "testing"
+
+func TestTopologyStringAndParse(t *testing.T) {
+	for _, topo := range Topologies() {
+		got, err := ParseTopology(topo.String())
+		if err != nil || got != topo {
+			t.Errorf("ParseTopology(%q) = %v, %v", topo.String(), got, err)
+		}
+	}
+	for spelling, want := range map[string]Topology{
+		"TREE": TopoTree, "flat": TopoStar, "all-to-one": TopoStar,
+		"Ring": TopoRing, "full": TopoFullyConnected, "all-to-all": TopoFullyConnected,
+	} {
+		got, err := ParseTopology(spelling)
+		if err != nil || got != want {
+			t.Errorf("ParseTopology(%q) = %v, %v, want %v", spelling, got, err, want)
+		}
+	}
+	if _, err := ParseTopology("mesh"); err == nil {
+		t.Error("unknown topology spelling accepted")
+	}
+}
+
+func TestValidateRejectsUnknownTopology(t *testing.T) {
+	p := Siracusa()
+	p.Topology = Topology(99)
+	if err := p.Validate(); err == nil {
+		t.Error("unknown topology passed validation")
+	}
+	for _, topo := range Topologies() {
+		p.Topology = topo
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s rejected: %v", topo, err)
+		}
+	}
+}

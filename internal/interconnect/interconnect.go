@@ -1,7 +1,11 @@
-// Package interconnect models the chip-to-chip network of the paper:
-// point-to-point MIPI links arranged as a hierarchical reduction tree
-// in groups of four (Fig. 1 of the paper). It builds the tree, derives
-// the hop schedule for all-reduce and broadcast collectives, and
+// Package interconnect models the chip-to-chip network: point-to-point
+// MIPI links whose shape is a pluggable Topology. The paper's
+// hierarchical reduction tree in groups of four (Fig. 1) is the
+// default; a flat all-to-one star, a ring all-reduce, and a
+// fully-connected all-to-all are available as design-space
+// alternatives. Each topology lowers to a Schedule — a link graph plus
+// dependency-ordered reduce/broadcast hop lists — which is the only
+// interface the performance simulator consumes. The package also
 // provides per-hop transfer-time/byte accounting helpers.
 package interconnect
 
@@ -29,14 +33,18 @@ type Tree struct {
 // BuildTree constructs the hierarchical grouping: at each level,
 // consecutive nodes form groups of at most groupSize whose first
 // member becomes the leader at the next level, until one root remains.
-// groupSize >= n yields the flat all-to-one reduction the paper
-// rejects for scalability (used here as an ablation baseline).
+// groupSize >= n degenerates to a flat all-to-one reduction; prefer
+// selecting hw.TopoStar, which names that shape explicitly.
+//
+// This is the single validation point for tree parameters: every
+// schedule builder and hw.Params.Validate funnel group-size errors
+// here or mirror its rule.
 func BuildTree(n, groupSize int) (*Tree, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("interconnect: need at least one chip, got %d", n)
 	}
 	if groupSize < 2 {
-		return nil, fmt.Errorf("interconnect: group size %d must be at least 2", groupSize)
+		return nil, fmt.Errorf("interconnect: group size %d must be at least 2 (select hw.TopoStar for a flat all-to-one reduction)", groupSize)
 	}
 	t := &Tree{
 		N:         n,
@@ -142,9 +150,22 @@ func (t *Tree) Subtree(node int) []int {
 	return out
 }
 
-// Hop is one directed link transfer in a collective.
+// Hop is one directed link transfer in a collective schedule.
 type Hop struct {
 	From, To int
+	// Chunk indexes the payload chunk this hop carries (always 0 for
+	// whole-payload topologies; the ring moves N distinct chunks).
+	// The simulator tracks readiness per (chip, chunk).
+	Chunk int
+	// Frac scales the collective payload carried by this hop: 1 for
+	// whole-payload hops, 1/N for ring chunks.
+	Frac float64
+	// FromAccumulated marks reduce hops whose sender transmits its
+	// accumulated value (so the transfer waits for the sender's own
+	// accumulations of this chunk). Fully-connected exchange sends
+	// the original partial instead and accumulates only at the
+	// receiver.
+	FromAccumulated bool
 }
 
 // ReduceHops returns the hops of the all-reduce in a valid dependency
@@ -154,7 +175,7 @@ func (t *Tree) ReduceHops() []Hop {
 	var hops []Hop
 	for _, node := range t.Subtree(t.Root) {
 		if p := t.Parent[node]; p != -1 {
-			hops = append(hops, Hop{From: node, To: p})
+			hops = append(hops, Hop{From: node, To: p, Frac: 1, FromAccumulated: true})
 		}
 	}
 	return hops
@@ -167,7 +188,7 @@ func (t *Tree) BroadcastHops() []Hop {
 	var walk func(int)
 	walk = func(n int) {
 		for _, c := range t.Children[n] {
-			hops = append(hops, Hop{From: n, To: c})
+			hops = append(hops, Hop{From: n, To: c, Frac: 1})
 			walk(c)
 		}
 	}

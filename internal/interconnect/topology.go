@@ -1,0 +1,294 @@
+package interconnect
+
+import (
+	"fmt"
+	"math"
+
+	"mcudist/internal/hw"
+)
+
+// Final marks a chip that holds a fully reduced chunk and runs the
+// synchronization's root work (residual/norm/requant) on it before the
+// broadcast phase. The tree and star finalize everything on the root;
+// the ring shards the work across all chips (1/N each); the
+// fully-connected exchange replicates it on every chip.
+type Final struct {
+	Chip  int
+	Chunk int
+	// Frac is the share of the root work this chip executes.
+	Frac float64
+}
+
+// Schedule is the lowered collective plan of one topology over N
+// chips: dependency-ordered reduce and broadcast hop lists plus the
+// root-work placement. The performance simulator executes a Schedule
+// generically — every (From, To) pair is an independent full-duplex
+// link resource — so adding a topology means adding a builder here,
+// not touching the simulator.
+type Schedule struct {
+	Topology hw.Topology
+	N        int
+	// Root is the representative chip for runtime-breakdown
+	// accounting (the reduction root for tree and star, chip 0 for
+	// the symmetric topologies).
+	Root int
+	// Chunks is the number of payload chunks readiness is tracked
+	// over (1 for whole-payload topologies, N for the ring).
+	Chunks int
+	// Depth is the number of serialized hop levels on the reduce
+	// critical path: the tree's depth, 1 for star and fully-connected,
+	// N-1 for the ring's reduce-scatter.
+	Depth int
+	// Reduce and Broadcast are the hop lists in dependency order.
+	Reduce    []Hop
+	Broadcast []Hop
+	// Final lists the chips running the root work, with their shares.
+	Final []Final
+	// Tree is the underlying reduction tree for the shapes that have
+	// one (TopoTree and TopoStar), nil otherwise.
+	Tree *Tree
+}
+
+// NewSchedule lowers a topology selection onto n chips. groupSize is
+// consulted only by TopoTree (the paper's groups of four).
+func NewSchedule(topo hw.Topology, n, groupSize int) (*Schedule, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("interconnect: need at least one chip, got %d", n)
+	}
+	switch topo {
+	case hw.TopoTree:
+		t, err := BuildTree(n, groupSize)
+		if err != nil {
+			return nil, err
+		}
+		return scheduleFromTree(hw.TopoTree, t), nil
+	case hw.TopoStar:
+		// The flat all-to-one shape is a degenerate tree whose one
+		// group spans every chip; group size is irrelevant (but must
+		// satisfy BuildTree's floor of 2).
+		g := n
+		if g < 2 {
+			g = 2
+		}
+		t, err := BuildTree(n, g)
+		if err != nil {
+			return nil, err
+		}
+		return scheduleFromTree(hw.TopoStar, t), nil
+	case hw.TopoRing:
+		return ringSchedule(n), nil
+	case hw.TopoFullyConnected:
+		return fullyConnectedSchedule(n), nil
+	default:
+		return nil, fmt.Errorf("interconnect: %s is not a supported topology", topo)
+	}
+}
+
+// scheduleFromTree lowers a reduction tree (hierarchical or flat) to
+// the generic schedule: whole-payload hops, root work on the root.
+func scheduleFromTree(topo hw.Topology, t *Tree) *Schedule {
+	return &Schedule{
+		Topology:  topo,
+		N:         t.N,
+		Root:      t.Root,
+		Chunks:    1,
+		Depth:     t.Depth(),
+		Reduce:    t.ReduceHops(),
+		Broadcast: t.BroadcastHops(),
+		Final:     []Final{{Chip: t.Root, Chunk: 0, Frac: 1}},
+		Tree:      t,
+	}
+}
+
+// ringSchedule builds the classic ring all-reduce: a reduce-scatter of
+// N-1 steps (chip i sends chunk (i-s) mod N to its successor, which
+// accumulates it) followed by an all-gather of N-1 steps (chip i
+// forwards chunk (i+1-s) mod N). After the reduce-scatter chip i owns
+// the complete chunk (i+1) mod N and runs the root work on it, so the
+// per-sync root work is sharded 1/N per chip. Every hop moves
+// payload/N, which is what makes the ring bandwidth-optimal; the
+// price is 2(N-1) serialized setup latencies.
+func ringSchedule(n int) *Schedule {
+	s := &Schedule{
+		Topology: hw.TopoRing,
+		N:        n,
+		Root:     0,
+		Chunks:   n,
+		Depth:    n - 1,
+	}
+	frac := 1 / float64(n)
+	for step := 0; step < n-1; step++ {
+		for i := 0; i < n; i++ {
+			s.Reduce = append(s.Reduce, Hop{
+				From:            i,
+				To:              (i + 1) % n,
+				Chunk:           ((i-step)%n + n) % n,
+				Frac:            frac,
+				FromAccumulated: true,
+			})
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.Final = append(s.Final, Final{Chip: i, Chunk: (i + 1) % n, Frac: frac})
+	}
+	for step := 0; step < n-1; step++ {
+		for i := 0; i < n; i++ {
+			s.Broadcast = append(s.Broadcast, Hop{
+				From:  i,
+				To:    (i + 1) % n,
+				Chunk: ((i+1-step)%n + n) % n,
+				Frac:  frac,
+			})
+		}
+	}
+	if n == 1 {
+		s.Depth = 0
+		s.Final = []Final{{Chip: 0, Chunk: 0, Frac: 1}}
+	}
+	return s
+}
+
+// fullyConnectedSchedule builds the all-to-all exchange: every chip
+// sends its original partial to every other chip and accumulates the
+// N-1 partials it receives, then runs the full root work locally.
+// One hop level deep and broadcast-free, at N(N-1) times the unit
+// reduce traffic — the traffic extreme opposite the paper's tree.
+func fullyConnectedSchedule(n int) *Schedule {
+	s := &Schedule{
+		Topology: hw.TopoFullyConnected,
+		N:        n,
+		Root:     0,
+		Chunks:   1,
+		Depth:    1,
+	}
+	if n == 1 {
+		s.Depth = 0
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			s.Reduce = append(s.Reduce, Hop{From: i, To: j, Frac: 1})
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.Final = append(s.Final, Final{Chip: i, Chunk: 0, Frac: 1})
+	}
+	return s
+}
+
+// ScalePayload is the byte count one hop of the given fraction moves.
+// Whole-payload hops (frac >= 1) pass the payload through untouched so
+// the default tree stays byte-identical to the pre-topology simulator.
+func ScalePayload(payload int64, frac float64) int64 {
+	if frac >= 1 || payload <= 0 {
+		return payload
+	}
+	return int64(math.Round(float64(payload) * frac))
+}
+
+// CollectiveBytes is the total link traffic of one synchronization
+// under the schedule: the sum over hops of their payload share. For
+// tree, star, and ring this is (N-1) * (reduce + bcast); the
+// fully-connected exchange pays N(N-1) * reduce and broadcasts
+// nothing.
+func (s *Schedule) CollectiveBytes(reducePayload, bcastPayload int64) int64 {
+	var total int64
+	for _, h := range s.Reduce {
+		total += ScalePayload(reducePayload, h.Frac)
+	}
+	for _, h := range s.Broadcast {
+		total += ScalePayload(bcastPayload, h.Frac)
+	}
+	return total
+}
+
+// Validate checks the structural invariants every schedule must hold:
+// indices in range, sane fractions, each chip's partial reaching a
+// finalizing chip exactly once per chunk, and the broadcast phase
+// (together with the finalize placement) delivering every chunk to
+// every chip in dependency order.
+func (s *Schedule) Validate() error {
+	if s.N <= 0 || s.Chunks <= 0 {
+		return fmt.Errorf("interconnect: schedule over %d chips / %d chunks", s.N, s.Chunks)
+	}
+	if s.Root < 0 || s.Root >= s.N {
+		return fmt.Errorf("interconnect: root %d out of range", s.Root)
+	}
+	for _, h := range append(append([]Hop{}, s.Reduce...), s.Broadcast...) {
+		if h.From < 0 || h.From >= s.N || h.To < 0 || h.To >= s.N || h.From == h.To {
+			return fmt.Errorf("interconnect: hop %d->%d out of range", h.From, h.To)
+		}
+		if h.Chunk < 0 || h.Chunk >= s.Chunks {
+			return fmt.Errorf("interconnect: hop %d->%d chunk %d out of range", h.From, h.To, h.Chunk)
+		}
+		if h.Frac <= 0 || h.Frac > 1 {
+			return fmt.Errorf("interconnect: hop %d->%d fraction %g out of (0,1]", h.From, h.To, h.Frac)
+		}
+	}
+
+	// Symbolic reduce: contrib[chip][chunk] counts how many times each
+	// original partial has been folded into the accumulator. An
+	// accumulated send moves the live set; a plain send moves only the
+	// sender's own contribution.
+	contrib := make([][]map[int]int, s.N)
+	for c := range contrib {
+		contrib[c] = make([]map[int]int, s.Chunks)
+		for q := range contrib[c] {
+			contrib[c][q] = map[int]int{c: 1}
+		}
+	}
+	for _, h := range s.Reduce {
+		sent := map[int]int{h.From: 1}
+		if h.FromAccumulated {
+			sent = contrib[h.From][h.Chunk]
+		}
+		for chip, cnt := range sent {
+			contrib[h.To][h.Chunk][chip] += cnt
+		}
+	}
+	for _, f := range s.Final {
+		if f.Chip < 0 || f.Chip >= s.N || f.Chunk < 0 || f.Chunk >= s.Chunks {
+			return fmt.Errorf("interconnect: finalize (%d, chunk %d) out of range", f.Chip, f.Chunk)
+		}
+		if f.Frac <= 0 || f.Frac > 1 {
+			return fmt.Errorf("interconnect: finalize fraction %g out of (0,1]", f.Frac)
+		}
+		for chip := 0; chip < s.N; chip++ {
+			if got := contrib[f.Chip][f.Chunk][chip]; got != 1 {
+				return fmt.Errorf("interconnect: chunk %d finalized on chip %d holds chip %d's partial %d times, want exactly once",
+					f.Chunk, f.Chip, chip, got)
+			}
+		}
+	}
+	if len(s.Final) == 0 {
+		return fmt.Errorf("interconnect: no finalizing chip")
+	}
+
+	// Broadcast reachability: starting from the finalized (chip,
+	// chunk) pairs, every hop must forward an already-present chunk,
+	// and afterwards every chip must hold every chunk.
+	has := make([][]bool, s.N)
+	for c := range has {
+		has[c] = make([]bool, s.Chunks)
+	}
+	for _, f := range s.Final {
+		has[f.Chip][f.Chunk] = true
+	}
+	for _, h := range s.Broadcast {
+		if !has[h.From][h.Chunk] {
+			return fmt.Errorf("interconnect: broadcast hop %d->%d forwards chunk %d before receiving it",
+				h.From, h.To, h.Chunk)
+		}
+		has[h.To][h.Chunk] = true
+	}
+	for c := 0; c < s.N; c++ {
+		for q := 0; q < s.Chunks; q++ {
+			if !has[c][q] {
+				return fmt.Errorf("interconnect: chunk %d never reaches chip %d", q, c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package interconnect
+
+import (
+	"testing"
+
+	"mcudist/internal/hw"
+)
+
+// Every topology's schedule must satisfy the structural invariants:
+// each chip's partial folded into a finalizing chip exactly once per
+// chunk, and the broadcast phase delivering every chunk to every chip
+// in dependency order. This covers the satellite invariants "every
+// chip's partial reaches the root exactly once" and "broadcast
+// reaches all chips" for all four shapes.
+func TestScheduleInvariantsAllTopologies(t *testing.T) {
+	for _, topo := range hw.Topologies() {
+		for _, n := range []int{1, 2, 3, 4, 5, 8, 13, 16, 33, 64} {
+			sched, err := NewSchedule(topo, n, 4)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", topo, n, err)
+			}
+			if err := sched.Validate(); err != nil {
+				t.Errorf("%s n=%d: %v", topo, n, err)
+			}
+			if sched.N != n || sched.Topology != topo {
+				t.Errorf("%s n=%d: schedule reports n=%d topo=%s", topo, n, sched.N, sched.Topology)
+			}
+		}
+	}
+}
+
+// The default tree schedule must be exactly the tree's hop lists —
+// the simulator path the golden tests pin byte-identical.
+func TestTreeScheduleMatchesTree(t *testing.T) {
+	sched, err := NewSchedule(hw.TopoTree, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := BuildTree(8, 4)
+	if sched.Tree == nil || sched.Root != tr.Root || sched.Depth != tr.Depth() {
+		t.Fatalf("tree schedule root/depth = %d/%d, want %d/%d",
+			sched.Root, sched.Depth, tr.Root, tr.Depth())
+	}
+	if len(sched.Reduce) != len(tr.ReduceHops()) || len(sched.Broadcast) != len(tr.BroadcastHops()) {
+		t.Fatal("tree schedule hop counts differ from the tree's")
+	}
+	for i, h := range sched.Reduce {
+		want := tr.ReduceHops()[i]
+		if h.From != want.From || h.To != want.To || h.Frac != 1 || !h.FromAccumulated || h.Chunk != 0 {
+			t.Fatalf("reduce hop %d = %+v, want whole-payload %d->%d", i, h, want.From, want.To)
+		}
+	}
+	if len(sched.Final) != 1 || sched.Final[0].Chip != tr.Root || sched.Final[0].Frac != 1 {
+		t.Fatalf("tree finalize = %+v, want full root work on %d", sched.Final, tr.Root)
+	}
+}
+
+// The star is the explicit spelling of the old GroupSize >= n flat
+// tree: one group, every chip a direct child of the root.
+func TestStarScheduleIsFlat(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16} {
+		sched, err := NewSchedule(hw.TopoStar, n, 4) // group size ignored
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDepth := 1
+		if n == 1 {
+			wantDepth = 0
+		}
+		if sched.Depth != wantDepth {
+			t.Errorf("star n=%d depth = %d, want %d", n, sched.Depth, wantDepth)
+		}
+		for i, h := range sched.Reduce {
+			if h.To != sched.Root || h.From != i+1 {
+				t.Errorf("star n=%d reduce hop %d = %+v, want %d->root", n, i, h, i+1)
+			}
+		}
+	}
+}
+
+// Ring: 2(N-1) steps of N chunk hops each, chip i owning chunk
+// (i+1) mod N after the reduce-scatter, root work sharded 1/N.
+func TestRingScheduleShape(t *testing.T) {
+	const n = 8
+	sched, err := NewSchedule(hw.TopoRing, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sched.Reduce); got != n*(n-1) {
+		t.Fatalf("ring reduce hops = %d, want %d", got, n*(n-1))
+	}
+	if got := len(sched.Broadcast); got != n*(n-1) {
+		t.Fatalf("ring bcast hops = %d, want %d", got, n*(n-1))
+	}
+	if sched.Chunks != n || sched.Depth != n-1 {
+		t.Fatalf("ring chunks/depth = %d/%d, want %d/%d", sched.Chunks, sched.Depth, n, n-1)
+	}
+	var fracSum float64
+	for _, f := range sched.Final {
+		fracSum += f.Frac
+		if f.Chunk != (f.Chip+1)%n {
+			t.Errorf("chip %d finalizes chunk %d, want %d", f.Chip, f.Chunk, (f.Chip+1)%n)
+		}
+	}
+	if fracSum < 0.999 || fracSum > 1.001 {
+		t.Errorf("ring root-work shares sum to %g, want 1", fracSum)
+	}
+	for _, h := range append(append([]Hop{}, sched.Reduce...), sched.Broadcast...) {
+		if h.To != (h.From+1)%n {
+			t.Errorf("ring hop %d->%d leaves the ring", h.From, h.To)
+		}
+	}
+}
+
+// Fully connected: N(N-1) direct sends of the original partial, no
+// broadcast, root work replicated on every chip.
+func TestFullyConnectedScheduleShape(t *testing.T) {
+	const n = 5
+	sched, err := NewSchedule(hw.TopoFullyConnected, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sched.Reduce); got != n*(n-1) {
+		t.Fatalf("fc reduce hops = %d, want %d", got, n*(n-1))
+	}
+	if len(sched.Broadcast) != 0 {
+		t.Fatal("fc must not broadcast")
+	}
+	if len(sched.Final) != n {
+		t.Fatalf("fc finalizes on %d chips, want %d", len(sched.Final), n)
+	}
+	for _, h := range sched.Reduce {
+		if h.FromAccumulated {
+			t.Fatalf("fc hop %d->%d must send the original partial", h.From, h.To)
+		}
+	}
+}
+
+// Collective traffic per sync: (N-1)(reduce+bcast) for tree, star,
+// and (up to chunk rounding) ring; N(N-1) * reduce for the
+// fully-connected exchange.
+func TestCollectiveBytes(t *testing.T) {
+	const n, r, b = 8, 8192, 4096
+	for _, tc := range []struct {
+		topo hw.Topology
+		want int64
+	}{
+		{hw.TopoTree, (n - 1) * (r + b)},
+		{hw.TopoStar, (n - 1) * (r + b)},
+		{hw.TopoRing, (n - 1) * (r + b)},
+		{hw.TopoFullyConnected, n * (n - 1) * r},
+	} {
+		sched, err := NewSchedule(tc.topo, n, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sched.CollectiveBytes(r, b)
+		// The ring rounds per-chunk payloads; r and b divide evenly
+		// by n here, so all four are exact.
+		if got != tc.want {
+			t.Errorf("%s collective bytes = %d, want %d", tc.topo, got, tc.want)
+		}
+	}
+}
+
+func TestScalePayload(t *testing.T) {
+	if got := ScalePayload(12345, 1); got != 12345 {
+		t.Errorf("whole-payload scaling changed bytes: %d", got)
+	}
+	if got := ScalePayload(1000, 0.25); got != 250 {
+		t.Errorf("quarter share = %d, want 250", got)
+	}
+	if got := ScalePayload(0, 0.5); got != 0 {
+		t.Errorf("zero payload scaled to %d", got)
+	}
+}
+
+func TestNewScheduleErrors(t *testing.T) {
+	if _, err := NewSchedule(hw.TopoTree, 0, 4); err == nil {
+		t.Error("zero chips accepted")
+	}
+	if _, err := NewSchedule(hw.TopoTree, 8, 1); err == nil {
+		t.Error("group size 1 accepted for the tree")
+	}
+	if _, err := NewSchedule(hw.Topology(99), 8, 4); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	// Star and ring do not consult the group size.
+	if _, err := NewSchedule(hw.TopoStar, 8, 0); err != nil {
+		t.Errorf("star rejected irrelevant group size: %v", err)
+	}
+	if _, err := NewSchedule(hw.TopoRing, 8, 0); err != nil {
+		t.Errorf("ring rejected irrelevant group size: %v", err)
+	}
+}
+
+// BuildTree edge cases the tentpole refactor must preserve: single
+// chip, chip counts that are not multiples of the group size, and the
+// depth recurrence.
+func TestBuildTreeEdgeCases(t *testing.T) {
+	cases := []struct {
+		n, g, depth int
+	}{
+		{1, 4, 0},
+		{2, 4, 1},
+		{4, 4, 1},
+		{5, 4, 1},  // 5 -> 2 -> 1; chip 4 is its own leader, one hop to root
+		{6, 4, 2},  // 6 -> 2 -> 1; 5 -> 4 -> 0
+		{7, 2, 2},  // 7 -> 4 -> 2 -> 1; the lone trailing chip passes levels hop-free
+		{9, 4, 2},  // 9 -> 3 -> 1
+		{17, 4, 2}, // 17 -> 5 -> 2 -> 1; chip 16 leads itself until the last level
+		{64, 8, 2}, // 64 -> 8 -> 1
+	}
+	for _, c := range cases {
+		tr, err := BuildTree(c.n, c.g)
+		if err != nil {
+			t.Fatalf("n=%d g=%d: %v", c.n, c.g, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d g=%d: %v", c.n, c.g, err)
+		}
+		if got := tr.Depth(); got != c.depth {
+			t.Errorf("n=%d g=%d depth = %d, want %d", c.n, c.g, got, c.depth)
+		}
+		if len(tr.ReduceHops()) != c.n-1 || len(tr.BroadcastHops()) != c.n-1 {
+			t.Errorf("n=%d g=%d: hop counts not n-1", c.n, c.g)
+		}
+	}
+}
+
+// A corrupted schedule must fail validation: duplicated contribution,
+// missing broadcast coverage, and out-of-order forwarding.
+func TestScheduleValidateCatchesCorruption(t *testing.T) {
+	sched, _ := NewSchedule(hw.TopoTree, 8, 4)
+	dup := *sched
+	dup.Reduce = append(append([]Hop{}, sched.Reduce...), Hop{From: 1, To: 0, Frac: 1, FromAccumulated: false})
+	if err := dup.Validate(); err == nil {
+		t.Error("double contribution not caught")
+	}
+
+	short := *sched
+	short.Broadcast = sched.Broadcast[:len(sched.Broadcast)-1]
+	if err := short.Validate(); err == nil {
+		t.Error("unreached chip not caught")
+	}
+
+	reordered := *sched
+	reordered.Broadcast = append([]Hop{}, sched.Broadcast...)
+	last := len(reordered.Broadcast) - 1
+	reordered.Broadcast[0], reordered.Broadcast[last] = reordered.Broadcast[last], reordered.Broadcast[0]
+	// Swapping first and last hop of the 8-chip tree broadcast makes a
+	// chip forward before it received.
+	if err := reordered.Validate(); err == nil {
+		t.Error("out-of-order broadcast not caught")
+	}
+}

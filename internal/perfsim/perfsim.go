@@ -6,11 +6,15 @@
 //
 // Modeling conventions (matching the paper's stacked-bar accounting):
 // compute, L2↔L1 tile movement, and exposed L3 streaming serialize
-// within a phase. Every tree edge is an independent full-duplex MIPI
-// link (the Fig. 1 hub wiring), so a group's partials arrive at the
-// leader concurrently while the leader's accumulations serialize on
-// its cluster. Collective payloads move in tiles, letting the
-// broadcast of early tiles overlap the reduction of later ones.
+// within a phase. The collective plan comes from an
+// interconnect.Schedule — the simulator executes whatever hop lists
+// the selected topology lowered to, holding no structural knowledge of
+// its own. Every (from, to) chip pair used by a schedule is an
+// independent full-duplex MIPI link (the Fig. 1 hub wiring
+// generalized), so partials converging on a chip arrive concurrently
+// while that chip's accumulations serialize on its cluster.
+// Collective payloads move in tiles, letting the broadcast of early
+// tiles overlap the reduction of later ones.
 package perfsim
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	"mcudist/internal/deploy"
 	"mcudist/internal/eventsim"
+	"mcudist/internal/hw"
 	"mcudist/internal/interconnect"
 	"mcudist/internal/kernels"
 	"mcudist/internal/model"
@@ -62,25 +67,41 @@ type Result struct {
 	// Syncs is the number of chip synchronizations executed (the
 	// paper's scheme: 2 per block).
 	Syncs int
-	// TreeDepth is the reduction-tree depth used.
+	// TreeDepth is the serialized hop depth of the reduce schedule
+	// (the tree's depth; 1 for star and fully-connected, N-1 for the
+	// ring).
 	TreeDepth int
+	// Topology is the interconnect shape the run used.
+	Topology hw.Topology
 	// TotalC2CBytes is the summed link traffic.
 	TotalC2CBytes int64
 }
 
 type sim struct {
-	d        *deploy.Deployment
-	tree     *interconnect.Tree
-	eng      *eventsim.Engine
-	cluster  []*eventsim.Resource
-	dma      []*eventsim.Resource
-	io       []*eventsim.Resource
-	linkUp   []*eventsim.Resource // per chip: edge to its parent, reduce direction
-	linkDown []*eventsim.Resource // per chip: edge from its parent, broadcast direction
+	d       *deploy.Deployment
+	sched   *interconnect.Schedule
+	eng     *eventsim.Engine
+	cluster []*eventsim.Resource
+	dma     []*eventsim.Resource
+	io      []*eventsim.Resource
+	// links holds one full-duplex resource per directed chip pair the
+	// schedule uses, created on demand.
+	links    map[[2]int]*eventsim.Resource
 	stats    []ChipStats
 	syncs    int
 	commTile int64
 	tl       *trace.Timeline
+}
+
+// link returns the exclusive resource of the directed edge from->to.
+func (s *sim) link(from, to int) *eventsim.Resource {
+	key := [2]int{from, to}
+	if r, ok := s.links[key]; ok {
+		return r
+	}
+	r := eventsim.NewResource(s.eng, fmt.Sprintf("link%d-%d", from, to))
+	s.links[key] = r
+	return r
 }
 
 func (s *sim) span(chip int, category, label string, start, end float64) {
@@ -98,7 +119,7 @@ func Run(d *deploy.Deployment) (*Result, error) {
 // kernel, DMA transfer, and link hop into tl (when non-nil).
 func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 	n := d.Plan.Chips
-	tree, err := interconnect.BuildTree(n, d.HW.GroupSize)
+	sched, err := interconnect.NewSchedule(d.HW.Topology, n, d.HW.GroupSize)
 	if err != nil {
 		return nil, err
 	}
@@ -108,13 +129,12 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 	}
 	s := &sim{
 		d:        d,
-		tree:     tree,
+		sched:    sched,
 		eng:      eventsim.NewEngine(),
 		cluster:  make([]*eventsim.Resource, n),
 		dma:      make([]*eventsim.Resource, n),
 		io:       make([]*eventsim.Resource, n),
-		linkUp:   make([]*eventsim.Resource, n),
-		linkDown: make([]*eventsim.Resource, n),
+		links:    make(map[[2]int]*eventsim.Resource),
 		stats:    make([]ChipStats, n),
 		commTile: commTile,
 		tl:       tl,
@@ -123,8 +143,6 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 		s.cluster[i] = eventsim.NewResource(s.eng, fmt.Sprintf("cluster%d", i))
 		s.dma[i] = eventsim.NewResource(s.eng, fmt.Sprintf("dma%d", i))
 		s.io[i] = eventsim.NewResource(s.eng, fmt.Sprintf("io%d", i))
-		s.linkUp[i] = eventsim.NewResource(s.eng, fmt.Sprintf("link-up%d", i))
-		s.linkDown[i] = eventsim.NewResource(s.eng, fmt.Sprintf("link-down%d", i))
 	}
 
 	var end float64
@@ -143,7 +161,8 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 		TotalCycles: end,
 		PerChip:     s.stats,
 		Syncs:       s.syncs,
-		TreeDepth:   tree.Depth(),
+		TreeDepth:   sched.Depth,
+		Topology:    sched.Topology,
 	}
 	for i := range s.stats {
 		res.TotalC2CBytes += s.stats[i].C2CSentBytes
@@ -159,7 +178,7 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 	} else {
 		// The root participates in every phase and sync; gaps in its
 		// timeline are waits on remote partials (chip-to-chip time).
-		rb := s.stats[tree.Root]
+		rb := s.stats[sched.Root]
 		res.Breakdown = Breakdown{
 			Compute: rb.ComputeCycles,
 			L2L1:    rb.L2L1Cycles,
@@ -318,15 +337,23 @@ func (s *sim) splitTiles(payload int64) []int64 {
 	return tiles
 }
 
-// sync performs one hierarchical all-reduce + root work + broadcast,
-// pipelined over payload tiles. ready[i] is when chip i's partial is
-// available; the returned slice is when each chip holds the broadcast
-// result. rootWork runs (tile-proportionally) on the root between a
-// tile's reduction and its broadcast.
+// sync performs one collective synchronization — reduce + root work +
+// broadcast — by executing the topology's hop schedule, pipelined over
+// payload tiles. ready[i] is when chip i's partial is available; the
+// returned slice is when each chip holds the broadcast result.
+// rootWork runs (tile- and share-proportionally) on the schedule's
+// finalizing chips between a tile's reduction and its broadcast.
+//
+// Readiness is tracked per (chip, chunk): partial[c][q] is when chip
+// c's accumulator for chunk q last settled, has[c][q] when chip c
+// received the finalized chunk q. Whole-payload topologies use a
+// single chunk, reducing to the original tree recursion; the ring's
+// 2(N-1)-step chunk rotation needs the extra axis so a chip's send of
+// one chunk never waits on its concurrent receive of another.
 func (s *sim) sync(ready []float64, reducePayload, bcastPayload int64, rootWork []kernels.Cost) []float64 {
 	s.syncs++
 	n := s.d.Plan.Chips
-	root := s.tree.Root
+	sc := s.sched
 
 	tiles := s.splitTiles(reducePayload)
 	nt := len(tiles)
@@ -349,33 +376,50 @@ func (s *sim) sync(ready []float64, reducePayload, bcastPayload int64, rootWork 
 	arrive := make([]float64, n)
 	copy(arrive, ready)
 
-	reduceHops := s.tree.ReduceHops()
-	bcastHops := s.tree.BroadcastHops()
-
-	partialTile := make([]float64, n)
+	partial := make([][]float64, n)
+	has := make([][]float64, n)
+	for c := 0; c < n; c++ {
+		partial[c] = make([]float64, sc.Chunks)
+		has[c] = make([]float64, sc.Chunks)
+	}
 	for k := 0; k < nt; k++ {
 		frac := 1.0 / float64(nt)
 		for c := 0; c < n; c++ {
-			partialTile[c] = ready[c]
+			for q := 0; q < sc.Chunks; q++ {
+				partial[c][q] = ready[c]
+				has[c][q] = 0
+			}
 		}
-		for _, h := range reduceHops {
-			end := s.hopOn(s.linkUp[h.From], h.From, h.To, partialTile[h.From], tiles[k])
-			addEnd := s.execScaled(h.To, maxF(end, partialTile[h.To]), s.d.ReduceAdd, frac)
-			partialTile[h.To] = addEnd
+		for _, h := range sc.Reduce {
+			start := partial[h.From][h.Chunk]
+			if !h.FromAccumulated {
+				// All-to-all sends the original partial; only the
+				// receiver accumulates.
+				start = ready[h.From]
+			}
+			end := s.hopOn(s.link(h.From, h.To), h.From, h.To, start,
+				interconnect.ScalePayload(tiles[k], h.Frac))
+			addEnd := s.execScaled(h.To, maxF(end, partial[h.To][h.Chunk]), s.d.ReduceAdd, frac*h.Frac)
+			partial[h.To][h.Chunk] = addEnd
 		}
-		t := partialTile[root]
-		for _, op := range rootWork {
-			t = s.execScaled(root, t, op, frac)
+		for _, f := range sc.Final {
+			t := partial[f.Chip][f.Chunk]
+			for _, op := range rootWork {
+				t = s.execScaled(f.Chip, t, op, frac*f.Frac)
+			}
+			if t > arrive[f.Chip] {
+				arrive[f.Chip] = t
+			}
+			has[f.Chip][f.Chunk] = t
 		}
-		if t > arrive[root] {
-			arrive[root] = t
-		}
-		tileHas := make([]float64, n)
-		tileHas[root] = t
-		for _, h := range bcastHops {
-			tileHas[h.To] = s.hopOn(s.linkDown[h.To], h.From, h.To, tileHas[h.From], bcastTiles[k])
-			if tileHas[h.To] > arrive[h.To] {
-				arrive[h.To] = tileHas[h.To]
+		for _, h := range sc.Broadcast {
+			end := s.hopOn(s.link(h.From, h.To), h.From, h.To, has[h.From][h.Chunk],
+				interconnect.ScalePayload(bcastTiles[k], h.Frac))
+			if end > has[h.To][h.Chunk] {
+				has[h.To][h.Chunk] = end
+			}
+			if end > arrive[h.To] {
+				arrive[h.To] = end
 			}
 		}
 	}
@@ -514,7 +558,7 @@ func (s *sim) runPipeline() float64 {
 			t = s.phase(c, t, cd.MHSA, cd.ExposedMHSABytes, spill)
 		}
 		if c+1 < n {
-			t = s.hopOn(s.linkUp[c+1], c, c+1, t, actPayload)
+			t = s.hopOn(s.link(c, c+1), c, c+1, t, actPayload)
 		}
 	}
 	return t

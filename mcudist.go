@@ -45,6 +45,9 @@ type (
 	DeployOptions = deploy.Options
 	// Tier is a chip's weight-placement regime.
 	Tier = deploy.Tier
+	// Topology selects the interconnect shape of the chip-to-chip
+	// network (System.HW.Topology; TopologyTree is the paper's).
+	Topology = hw.Topology
 )
 
 // Model description API.
@@ -69,6 +72,9 @@ type (
 	GenerationReport = core.GenerationReport
 	// ExplorePoint is one configuration of a design-space sweep.
 	ExplorePoint = explore.Point
+	// TopologyPoint is one (topology, chip count) configuration of a
+	// topology-aware design-space sweep.
+	TopologyPoint = explore.TopologyPoint
 )
 
 // Inference modes.
@@ -90,6 +96,20 @@ const (
 	TierResidentSingle = deploy.TierResidentSingle
 	TierDoubleBuffered = deploy.TierDoubleBuffered
 	TierResidentAll    = deploy.TierResidentAll
+)
+
+// Interconnect topologies.
+const (
+	// TopologyTree is the paper's hierarchical reduction tree in
+	// groups of HW.GroupSize (the default).
+	TopologyTree = hw.TopoTree
+	// TopologyStar is the flat all-to-one reduction the paper
+	// rejects for scalability.
+	TopologyStar = hw.TopoStar
+	// TopologyRing is the bandwidth-optimal ring all-reduce.
+	TopologyRing = hw.TopoRing
+	// TopologyFullyConnected is the all-to-all pairwise exchange.
+	TopologyFullyConnected = hw.TopoFullyConnected
 )
 
 // Run plans, simulates, and evaluates one workload on one system.
@@ -199,4 +219,25 @@ func Frontier(base System, wl Workload, chips []int) ([]ExplorePoint, error) {
 // accepts for cfg, up to max.
 func LegalChipCounts(cfg Config, max int) []int {
 	return explore.LegalChipCounts(cfg, max)
+}
+
+// Topologies returns every supported interconnect shape, in enum
+// order — the design-space exploration axis next to the chip count.
+func Topologies() []Topology { return hw.Topologies() }
+
+// ParseTopology maps a command-line spelling (tree | star | ring |
+// fully-connected) to a Topology.
+func ParseTopology(s string) (Topology, error) { return hw.ParseTopology(s) }
+
+// BestTopology evaluates every interconnect shape on the base system
+// and returns the lowest-latency one with its report.
+func BestTopology(base System, wl Workload) (Topology, *Report, error) {
+	return explore.BestTopology(base, wl)
+}
+
+// TopologyFrontier evaluates the workload over the full topology ×
+// chip-count grid and marks the latency/energy Pareto front across
+// the union.
+func TopologyFrontier(base System, wl Workload, chips []int) ([]TopologyPoint, error) {
+	return explore.TopologyFrontier(base, wl, chips)
 }

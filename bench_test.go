@@ -342,6 +342,26 @@ func BenchmarkExtensionBatching(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationNetworkBackhaul runs the heterogeneous-link
+// ablation (tree vs ring, uniform vs clusters-of-4 with a 10x-slower
+// backhaul) — the schedule-lowering + per-class link hot path.
+func BenchmarkAblationNetworkBackhaul(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
+		r, err := experiments.AblationNetworkBackhaul(4, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		if r.Chips == 64 {
+			b.ReportMetric(r.Cycles, r.Label+"_cycles_64chips")
+		}
+	}
+}
+
 // BenchmarkAblationStraggler measures the cost of one throttled chip.
 func BenchmarkAblationStraggler(b *testing.B) {
 	var rows []experiments.AblationRow

@@ -6,8 +6,11 @@
 //
 //	paperrepro              # everything
 //	paperrepro -only fig4a  # one experiment: fig4a..fig6, table1,
-//	                        # headline, ablations
+//	                        # headline, ablations, topology, network
 //	paperrepro -workers 4   # bound the evaluation concurrency
+//	paperrepro -only network -cluster 4 -backhaul 10
+//	                        # heterogeneous-link ablation: tree vs ring
+//	                        # with a 10x-slower inter-cluster backhaul
 package main
 
 import (
@@ -27,8 +30,10 @@ type step struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations topology extensions")
+	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations topology network extensions")
 	workers := flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
+	cluster := flag.Int("cluster", 4, "network ablation: chips per fast local cluster")
+	backhaul := flag.Float64("backhaul", 10, "network ablation: inter-cluster bandwidth slowdown vs MIPI")
 	flag.Parse()
 	evalpool.SetWorkers(*workers)
 
@@ -44,6 +49,7 @@ func main() {
 		{"headline", headline},
 		{"ablations", ablations},
 		{"topology", topology},
+		{"network", network(*cluster, *backhaul)},
 		{"extensions", extensions},
 	}
 	ran := 0
@@ -194,6 +200,19 @@ func ablationTable(name string, run func() ([]experiments.AblationRow, error)) e
 func topology() error {
 	return ablationTable("interconnect topology (tree / star / ring / fully-connected)",
 		experiments.AblationTopologyShapes)
+}
+
+// network renders the heterogeneous-link ablation: tree vs ring on a
+// uniform MIPI network and on a two-tier clustered board with a
+// slowed inter-cluster backhaul, at the paper's 8/16/64-chip points.
+func network(cluster int, backhaul float64) func() error {
+	return func() error {
+		return ablationTable(
+			fmt.Sprintf("heterogeneous links (clusters of %d, %gx-slower backhaul)", cluster, backhaul),
+			func() ([]experiments.AblationRow, error) {
+				return experiments.AblationNetworkBackhaul(cluster, backhaul)
+			})
+	}
 }
 
 func extensions() error {

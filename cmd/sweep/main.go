@@ -7,6 +7,8 @@
 //	sweep -model tinyllama -mode autoregressive -chips 1,2,4,8
 //	sweep -model scaled -mode prompt -chips 1,2,4,8,16,32,64 -workers 4
 //	sweep -model tinyllama -mode prompt -chips 8 -topology ring
+//	sweep -model scaled -mode prompt -chips 16,64 -topology ring \
+//	      -network clustered -cluster 4 -backhaul 10
 package main
 
 import (
@@ -30,12 +32,19 @@ func main() {
 		chipsList = flag.String("chips", "1,2,4,8", "comma-separated chip counts")
 		seqLen    = flag.Int("seqlen", 0, "sequence length (0 = paper default)")
 		topoName  = flag.String("topology", "tree", "interconnect shape: tree | star | ring | fully-connected")
+		netName   = flag.String("network", "uniform", "link-layer profile: uniform | clustered")
+		backhaul  = flag.Float64("backhaul", 10, "clustered profile: inter-cluster bandwidth slowdown vs MIPI")
+		cluster   = flag.Int("cluster", 4, "clustered profile: chips per fast local cluster")
 		workers   = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	evalpool.SetWorkers(*workers)
 
 	topo, err := hw.ParseTopology(*topoName)
+	if err != nil {
+		fatal(err)
+	}
+	network, err := buildNetwork(*netName, *cluster, *backhaul)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,6 +77,7 @@ func main() {
 	wl := core.Workload{Model: cfg, Mode: mode, SeqLen: *seqLen}
 	base1 := core.DefaultSystem(1)
 	base1.HW.Topology = topo
+	base1.HW.Network = network
 	reports, err := evalpool.Eval(base1, wl, chips)
 	if err != nil {
 		fatal(err)
@@ -84,6 +94,27 @@ func main() {
 	}
 	if err := t.CSV(os.Stdout); err != nil {
 		fatal(err)
+	}
+}
+
+// buildNetwork maps the -network / -cluster / -backhaul flags to a
+// network description. The per-edge table profile has no CLI spelling
+// (it needs a wiring list); construct it through the library API.
+func buildNetwork(name string, clusterSize int, backhaul float64) (hw.Network, error) {
+	profile, err := hw.ParseNetworkProfile(name)
+	if err != nil {
+		return hw.Network{}, err
+	}
+	switch profile {
+	case hw.NetUniform:
+		return hw.UniformNetwork(hw.MIPI()), nil
+	case hw.NetClustered:
+		if backhaul < 1 {
+			return hw.Network{}, fmt.Errorf("backhaul slowdown %g must be >= 1", backhaul)
+		}
+		return hw.ClusteredNetwork(hw.MIPI(), hw.MIPI().Slower(backhaul), clusterSize), nil
+	default:
+		return hw.Network{}, fmt.Errorf("network profile %s has no flag spelling (use the mcudist.TableNetwork API)", profile)
 	}
 }
 

@@ -10,11 +10,14 @@ import (
 
 // golden pins the exact float64 bit patterns the simulator produced
 // before the interconnect was refactored onto pluggable topology
-// schedules (PR "pluggable interconnect topologies"). The default
-// tree topology — and the star, which must equal the old
-// GroupSize >= n flat-tree ablation path — have to reproduce these
-// results bit for bit: the refactor is a restructuring, not a model
-// change.
+// schedules (PR "pluggable interconnect topologies") and before the
+// single hw.Link was replaced by the per-edge link model (PR
+// "heterogeneous per-edge link model"). On the uniform network —
+// today's default, the only profile that existed before — all four
+// topologies have to reproduce these results bit for bit: the
+// refactors are restructurings, not model changes. The ring and
+// fully-connected rows were captured immediately before the link
+// model changed, from the same commit the tree/star rows survived.
 //
 // If a later PR intentionally changes the cost model (kernels, deploy
 // planner, energy constants), re-baseline these constants in that PR
@@ -88,9 +91,60 @@ var goldens = []golden{
 		l3: 0x0000000000000000, c2c: 0x4110800000000000,
 		c2cBytes: 16515072, l3Bytes: 0, syncs: 16, energy: 0x3f62a2db93e551aa,
 	},
+	// Uniform-network results for the remaining topology shapes,
+	// captured pre-refactor: the per-edge link model must leave every
+	// shape bit-identical when all edges carry the one MIPI class.
+	{
+		name: "tinyllama-ar-8-ring", topology: hw.TopoRing, chips: 8,
+		cfg: model.TinyLlama42M, mode: model.Autoregressive,
+		cycles: 0x4117c5c000000000, compute: 0x40f8ab0000000000, l2l1: 0x410a760000000000,
+		l3: 0x0000000000000000, c2c: 0x40f1800000000000,
+		c2cBytes: 114688, l3Bytes: 25165824, syncs: 16, energy: 0x3f65539da90f9e11,
+	},
+	{
+		name: "tinyllama-ar-8-fc", topology: hw.TopoFullyConnected, chips: 8,
+		cfg: model.TinyLlama42M, mode: model.Autoregressive,
+		cycles: 0x4118610000000000, compute: 0x41031a0000000000, l2l1: 0x410c280000000000,
+		l3: 0x0000000000000000, c2c: 0x40c8000000000000,
+		c2cBytes: 458752, l3Bytes: 25165824, syncs: 16, energy: 0x3f65bb6925452261,
+	},
+	{
+		name: "tinyllama-prompt-8-ring", topology: hw.TopoRing, chips: 8,
+		cfg: model.TinyLlama42M, mode: model.Prompt,
+		cycles: 0x413809b000000000, compute: 0x412dba6000000000, l2l1: 0x4113320000000000,
+		l3: 0x0000000000000000, c2c: 0x4111800000000000,
+		c2cBytes: 1835008, l3Bytes: 25165824, syncs: 16, energy: 0x3f686db54407b227,
+	},
+	{
+		name: "tinyllama-prompt-8-fc", topology: hw.TopoFullyConnected, chips: 8,
+		cfg: model.TinyLlama42M, mode: model.Prompt,
+		cycles: 0x413d09c000000000, compute: 0x4132c94000000000, l2l1: 0x4120610000000000,
+		l3: 0x0000000000000000, c2c: 0x4100800000000000,
+		c2cBytes: 7340032, l3Bytes: 25165824, syncs: 16, energy: 0x3f6dd79d76e971de,
+	},
+	{
+		name: "scaled-prompt-64-ring", topology: hw.TopoRing, chips: 64,
+		cfg: model.TinyLlamaScaled64, mode: model.Prompt,
+		cycles: 0x4131669600000000, compute: 0x410c00b000000000, l2l1: 0x4100b40000000000,
+		l3: 0x0000000000000000, c2c: 0x4127a00000000000,
+		c2cBytes: 16515072, l3Bytes: 0, syncs: 16, energy: 0x3f62a2db93e551b3,
+	},
+	{
+		name: "scaled-prompt-64-fc", topology: hw.TopoFullyConnected, chips: 64,
+		cfg: model.TinyLlamaScaled64, mode: model.Prompt,
+		cycles: 0x414b2f2000000000, compute: 0x4139bb4000000000, l2l1: 0x413a930000000000,
+		l3: 0x0000000000000000, c2c: 0x4100800000000000,
+		c2cBytes: 528482304, l3Bytes: 0, syncs: 16, energy: 0x3fae4d2ad2a7dd45,
+	},
 }
 
 func TestGoldenTreeByteIdentical(t *testing.T) {
+	// The default platform IS the explicit uniform-MIPI spelling: the
+	// golden rows below therefore pin the uniform path of the
+	// per-edge link model against the pre-refactor single hw.Link.
+	if hw.Siracusa().Network != hw.UniformNetwork(hw.MIPI()) {
+		t.Fatal("default network is not UniformNetwork(MIPI())")
+	}
 	for _, g := range goldens {
 		t.Run(g.name, func(t *testing.T) {
 			sys := DefaultSystem(g.chips)

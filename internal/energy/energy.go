@@ -40,13 +40,26 @@ func (r Report) String() string {
 const pJ = 1e-12
 
 // FromResult evaluates the analytical model over a simulation result.
+// Chip-to-chip energy is charged per link class: each byte pays the
+// pJ/B of the edge class it actually crossed (a slow SPI backhaul and
+// a fast MIPI local link bill differently), using the per-class byte
+// counters the simulator splits out. Results without per-class
+// counters (hand-built in tests, or from older traces) fall back to
+// the network's local class for every byte — exactly the pre-refactor
+// uniform accounting.
 func FromResult(p hw.Params, res *perfsim.Result) Report {
 	var rep Report
 	for _, st := range res.PerChip {
 		rep.Compute += p.Chip.ClusterPowerW * p.CyclesToSeconds(st.ComputeCycles)
 		rep.L3 += float64(st.L3Bytes) * p.Energy.L3PJPerByte * pJ
 		rep.L2 += float64(st.L2L1Bytes) * p.Energy.L2PJPerByte * pJ
-		rep.C2C += float64(st.C2CSentBytes) * p.Link.EnergyPJPerByte * pJ
+		if len(st.C2CSentBytesByClass) > 0 {
+			for i, b := range st.C2CSentBytesByClass {
+				rep.C2C += float64(b) * res.LinkClasses[i].EnergyPJPerByte * pJ
+			}
+		} else {
+			rep.C2C += float64(st.C2CSentBytes) * p.Network.Local.EnergyPJPerByte * pJ
+		}
 	}
 	return rep
 }

@@ -62,6 +62,37 @@ func TestEnergyComponentsManual(t *testing.T) {
 	}
 }
 
+// Chip-to-chip energy is billed per link class: bytes over a
+// 150 pJ/B backhaul cost 1.5x the bytes over the 100 pJ/B local
+// class, and the per-class path must agree with the uniform fallback
+// when there is only one class.
+func TestC2CEnergyPerClass(t *testing.T) {
+	p := hw.Siracusa()
+	local := hw.MIPI()
+	backhaul := hw.LinkClass{BandwidthBytesPerSec: 50e6, SetupCycles: 512, EnergyPJPerByte: 150}
+	res := &perfsim.Result{
+		LinkClasses: []hw.LinkClass{local, backhaul},
+		PerChip: []perfsim.ChipStats{{
+			C2CSentBytes:        3e6,
+			C2CSentBytesByClass: []int64{1e6, 2e6},
+		}},
+	}
+	rep := FromResult(p, res)
+	want := (1e6*100 + 2e6*150) * 1e-12
+	if math.Abs(rep.C2C-want) > 1e-15 {
+		t.Errorf("per-class C2C = %g, want %g", rep.C2C, want)
+	}
+
+	// Without per-class counters the model falls back to charging the
+	// local class for every byte (the pre-refactor accounting).
+	legacy := &perfsim.Result{
+		PerChip: []perfsim.ChipStats{{C2CSentBytes: 3e6}},
+	}
+	if got := FromResult(p, legacy).C2C; math.Abs(got-3e6*100*1e-12) > 1e-15 {
+		t.Errorf("fallback C2C = %g, want %g", got, 3e6*100*1e-12)
+	}
+}
+
 func TestTinyLlamaEnergySimilarAtFitBoundary(t *testing.T) {
 	// Paper: 8 chips run at similar energy per inference to 1 chip
 	// (the L3 traffic is unchanged; compute energy splits).

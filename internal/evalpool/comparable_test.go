@@ -22,6 +22,8 @@ func TestPointStaysComparable(t *testing.T) {
 		reflect.TypeOf(core.System{}),
 		reflect.TypeOf(core.Workload{}),
 		reflect.TypeOf(hw.Params{}),
+		reflect.TypeOf(hw.Network{}),
+		reflect.TypeOf(hw.LinkClass{}),
 	} {
 		if !typ.Comparable() {
 			t.Errorf("%s is no longer comparable; the evalpool cache key is broken", typ)
@@ -51,6 +53,32 @@ func TestPointKeyBehaviour(t *testing.T) {
 		t.Fatal("topology change did not produce a distinct cache key")
 	}
 
+	clustered := b
+	clustered.System.HW.Network = hw.ClusteredNetwork(hw.MIPI(), hw.MIPI().Slower(10), 4)
+	cache[clustered]++
+	if len(cache) != 3 {
+		t.Fatal("network change did not produce a distinct cache key")
+	}
+
+	// Per-edge tables intern by canonical content digest: equal tables
+	// must collide on one key, different tables must not.
+	t1, err := hw.TableNetwork(map[hw.Edge]hw.LinkClass{{From: 0, To: 1}: hw.MIPI(), {From: 1, To: 0}: hw.MIPI()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := hw.TableNetwork(map[hw.Edge]hw.LinkClass{{From: 1, To: 0}: hw.MIPI(), {From: 0, To: 1}: hw.MIPI()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := b, b
+	ta.System.HW.Network = t1
+	tb.System.HW.Network = t2
+	cache[ta]++
+	cache[tb]++
+	if len(cache) != 4 || cache[ta] != 2 {
+		t.Fatalf("equal per-edge tables did not collide on one cache key (%d entries)", len(cache))
+	}
+
 	// The live pool must dedupe the same way: same config twice is
 	// one simulation, a different topology is a second one.
 	p := New(1)
@@ -74,5 +102,15 @@ func TestPointKeyBehaviour(t *testing.T) {
 	}
 	if r3.Cycles == r1.Cycles {
 		t.Error("ring and tree reports coincide exactly; topology likely ignored")
+	}
+	r4, err := p.Run(clustered.System, clustered.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 == r1 {
+		t.Error("clustered network served the uniform network's cached report")
+	}
+	if r4.Cycles == r1.Cycles {
+		t.Error("clustered and uniform reports coincide exactly; network likely ignored")
 	}
 }

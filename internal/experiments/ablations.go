@@ -109,6 +109,63 @@ func AblationTopologyShapes() ([]AblationRow, error) {
 	return runAblation(pts)
 }
 
+// AblationNetworkBackhaul puts the tree-vs-ring decision under a
+// heterogeneous link layer: chips grouped in clusters of clusterSize
+// with intra-cluster MIPI links and an inter-cluster backhaul slowed
+// by backhaulSlowdown, at the paper's 8/16/64-chip points (prompt,
+// plus the 64-chip autoregressive operating point the paper's
+// scalability study targets).
+//
+// The shape of the result, pinned in TestAblationNetworkBackhaul:
+// the backhaul does NOT hand the prompt collectives back to the tree
+// — every ring hop moves only payload/N, so even with one in every
+// clusterSize hops 10x slower the ring's boundary chips serialize
+// ~2·payload·slowdown/clusterSize worth of backhaul time, while the
+// tree funnels whole payloads through its upper levels and pays
+// ~2·depth·slowdown of them; the ring's prompt lead *widens* at 64
+// chips (1.9x vs 1.5x uniform). The crossover stays where the
+// payload regime puts it: in the small-payload autoregressive mode
+// the ring's 2(N-1) serialized setups dominate and the tree wins at
+// 64 chips under the uniform and the clustered network alike.
+func AblationNetworkBackhaul(clusterSize int, backhaulSlowdown float64) ([]AblationRow, error) {
+	if clusterSize < 1 {
+		return nil, fmt.Errorf("experiments: cluster size %d must be at least 1", clusterSize)
+	}
+	if !(backhaulSlowdown >= 1) { // also rejects NaN
+		return nil, fmt.Errorf("experiments: backhaul slowdown %g must be >= 1", backhaulSlowdown)
+	}
+	scenarios := []struct {
+		cfg   model.Config
+		mode  model.Mode
+		chips int
+	}{
+		{model.TinyLlama42M(), model.Prompt, 8},
+		{model.TinyLlamaScaled64(), model.Prompt, 16},
+		{model.TinyLlamaScaled64(), model.Prompt, 64},
+		{model.TinyLlamaScaled64(), model.Autoregressive, 64},
+	}
+	networks := []hw.Network{
+		hw.UniformNetwork(hw.MIPI()),
+		hw.ClusteredNetwork(hw.MIPI(), hw.MIPI().Slower(backhaulSlowdown), clusterSize),
+	}
+	var pts []ablationPoint
+	for _, sc := range scenarios {
+		for _, net := range networks {
+			for _, topo := range []hw.Topology{hw.TopoTree, hw.TopoRing} {
+				sys := core.DefaultSystem(sc.chips)
+				sys.HW.Topology = topo
+				sys.HW.Network = net
+				pts = append(pts, ablationPoint{
+					label: topo.String() + "-" + net.String() + "-" + sc.mode.String(),
+					sys:   sys,
+					wl:    core.Workload{Model: sc.cfg, Mode: sc.mode},
+				})
+			}
+		}
+	}
+	return runAblation(pts)
+}
+
 // AblationGroupSize sweeps the reduction-tree arity at 64 chips.
 func AblationGroupSize() ([]AblationRow, error) {
 	wl := core.Workload{Model: model.TinyLlamaScaled64(), Mode: model.Prompt}
@@ -230,7 +287,7 @@ func AblationLinkBandwidth() ([]AblationRow, error) {
 	var pts []ablationPoint
 	for _, scale := range []float64{0.5, 1, 2, 4} {
 		sys := core.DefaultSystem(8)
-		sys.HW.Link.BandwidthBytesPerSec = hw.Siracusa().Link.BandwidthBytesPerSec * scale
+		sys.HW.Network.Local.BandwidthBytesPerSec = hw.MIPI().BandwidthBytesPerSec * scale
 		pts = append(pts, ablationPoint{label: fmt.Sprintf("link-x%g", scale), sys: sys, wl: wl})
 	}
 	return runAblation(pts)

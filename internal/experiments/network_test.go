@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAblationNetworkBackhaul pins the shape of the heterogeneous-link
+// ablation at the paper's default board (clusters of 4, 10x-slower
+// backhaul): the tree-vs-ring crossover stays payload-driven — the
+// ring keeps every prompt point even with the backhaul, the tree keeps
+// the 64-chip autoregressive operating point — and the backhaul
+// *widens* the ring's 64-chip prompt lead, because the tree funnels
+// whole payloads through its upper levels while every ring hop moves
+// only payload/N.
+func TestAblationNetworkBackhaul(t *testing.T) {
+	// Degenerate boards are rejected up front: a slowdown below 1
+	// would mean an infinitely fast or speeding-up "backhaul".
+	for _, bad := range []float64{0, 0.5, -1, math.NaN()} {
+		if _, err := AblationNetworkBackhaul(4, bad); err == nil {
+			t.Errorf("backhaul slowdown %g accepted", bad)
+		}
+	}
+	if _, err := AblationNetworkBackhaul(0, 10); err == nil {
+		t.Error("cluster size 0 accepted")
+	}
+
+	rows, err := AblationNetworkBackhaul(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("%d rows, want 16 (4 scenarios x 2 networks x 2 topologies)", len(rows))
+	}
+	find := func(label string, chips int) AblationRow {
+		t.Helper()
+		for _, r := range rows {
+			if r.Label == label && r.Chips == chips {
+				return r
+			}
+		}
+		t.Fatalf("row %q at %d chips missing", label, chips)
+		return AblationRow{}
+	}
+
+	// Prompt points: the ring wins under BOTH networks at 8/16/64.
+	for _, chips := range []int{8, 16, 64} {
+		for _, net := range []string{"uniform", "clustered-4x10"} {
+			tree := find("tree-"+net+"-prompt", chips)
+			ring := find("ring-"+net+"-prompt", chips)
+			if ring.Cycles >= tree.Cycles {
+				t.Errorf("%d chips %s prompt: ring %.0f not below tree %.0f",
+					chips, net, ring.Cycles, tree.Cycles)
+			}
+			// The backhaul reroutes no bytes: traffic is decided by the
+			// schedule, only the time changes.
+			if net == "clustered-4x10" {
+				if u := find("ring-uniform-prompt", chips); u.C2CBytes != ring.C2CBytes {
+					t.Errorf("%d chips: clustered ring moved %d bytes, uniform %d", chips, ring.C2CBytes, u.C2CBytes)
+				}
+			}
+		}
+	}
+
+	// The crossover: in the small-payload autoregressive mode at 64
+	// chips the ring's 2(N-1) serialized setups dominate and the tree
+	// wins — under the uniform and the clustered network alike.
+	for _, net := range []string{"uniform", "clustered-4x10"} {
+		tree := find("tree-"+net+"-autoregressive", 64)
+		ring := find("ring-"+net+"-autoregressive", 64)
+		if tree.Cycles >= ring.Cycles {
+			t.Errorf("64-chip AR %s: tree %.0f not below ring %.0f", net, tree.Cycles, ring.Cycles)
+		}
+	}
+
+	// The backhaul widens the ring's 64-chip prompt lead: tree/ring
+	// cycle ratio grows from ~1.5x (uniform) to ~1.9x (clustered).
+	uniLead := find("tree-uniform-prompt", 64).Cycles / find("ring-uniform-prompt", 64).Cycles
+	cluLead := find("tree-clustered-4x10-prompt", 64).Cycles / find("ring-clustered-4x10-prompt", 64).Cycles
+	if cluLead <= uniLead {
+		t.Errorf("backhaul narrowed the ring's 64-chip prompt lead: %.3g <= %.3g", cluLead, uniLead)
+	}
+	if uniLead < 1.4 || uniLead > 1.7 || cluLead < 1.7 || cluLead > 2.2 {
+		t.Errorf("prompt-64 tree/ring leads = %.3g (uniform) / %.3g (clustered), want ~1.5 / ~1.9", uniLead, cluLead)
+	}
+
+	// With equal pJ/B on both classes, the per-class energy billing
+	// must reproduce the uniform energy exactly: same bytes, same
+	// price, only slower.
+	for _, chips := range []int{8, 16, 64} {
+		u := find("ring-uniform-prompt", chips)
+		c := find("ring-clustered-4x10-prompt", chips)
+		if u.EnergyMJ != c.EnergyMJ {
+			t.Errorf("%d chips: clustered energy %.6g != uniform %.6g despite equal pJ/B", chips, c.EnergyMJ, u.EnergyMJ)
+		}
+		if c.Cycles <= u.Cycles {
+			t.Errorf("%d chips: clustered ring %.0f cycles not above uniform %.0f", chips, c.Cycles, u.Cycles)
+		}
+	}
+}

@@ -243,10 +243,61 @@ func TopologyFrontier(base core.System, wl core.Workload, chips []int) ([]Topolo
 	return out, nil
 }
 
+// NetworkPoint is one evaluated (topology, network, chip count)
+// configuration of a network-aware design-space sweep.
+type NetworkPoint struct {
+	Topology hw.Topology
+	Network  hw.Network
+	Chips    int
+	Report   *core.Report
+	// Pareto marks latency/energy Pareto-optimal points within the
+	// explored topology × network × chip-count grid.
+	Pareto bool
+}
+
+// NetworkFrontier evaluates the workload over the full topology ×
+// network-profile × chip-count grid and marks the latency/energy
+// Pareto front across the union — the link layer becomes an
+// exploration axis next to the shape and the chip count, which is
+// where clustered boards show their trade: a topology that wins under
+// uniform links can lose once its hops cross a slow backhaul. Points
+// are grouped by network in input order, then topology in enum order,
+// chip counts ascending.
+func NetworkFrontier(base core.System, wl core.Workload, chips []int, nets []hw.Network) ([]NetworkPoint, error) {
+	topos := hw.Topologies()
+	points := make([]evalpool.Point, 0, len(nets)*len(topos)*len(chips))
+	out := make([]NetworkPoint, 0, len(nets)*len(topos)*len(chips))
+	for _, net := range nets {
+		for _, topo := range topos {
+			for _, n := range chips {
+				sys := base
+				sys.HW.Network = net
+				sys.HW.Topology = topo
+				sys.Chips = n
+				points = append(points, evalpool.Point{System: sys, Workload: wl})
+				out = append(out, NetworkPoint{Topology: topo, Network: net, Chips: n})
+			}
+		}
+	}
+	reports, err := evalpool.Map(points)
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	for i, rep := range reports {
+		out[i].Report = rep
+	}
+	for i, p := range paretoMask(reports) {
+		out[i].Pareto = p
+	}
+	return out, nil
+}
+
 // BestTopology evaluates every interconnect shape on the base system
 // (at its chip count) and returns the lowest-latency one with its
-// report. Ties keep the earliest shape in enum order, so the paper's
-// tree wins exact draws.
+// report. The base system's network description participates fully:
+// under a clustered backhaul the winner can differ from the uniform
+// network's. Ties keep the earliest shape in enum order, so the
+// paper's tree wins exact draws.
 func BestTopology(base core.System, wl core.Workload) (hw.Topology, *core.Report, error) {
 	topos := hw.Topologies()
 	points := make([]evalpool.Point, len(topos))

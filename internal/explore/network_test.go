@@ -1,0 +1,105 @@
+package explore
+
+import (
+	"testing"
+
+	"mcudist/internal/core"
+	"mcudist/internal/hw"
+	"mcudist/internal/model"
+)
+
+// clustered10 is the two-tier test board: clusters of 4 MIPI-linked
+// chips joined by a 10x-slower backhaul.
+func clustered10() hw.Network {
+	return hw.ClusteredNetwork(hw.MIPI(), hw.MIPI().Slower(10), 4)
+}
+
+// BestTopology must weigh the backhaul penalty: on the uniform
+// network the 8-chip TinyLlama collectives belong to the ring, but
+// under the clustered backhaul the ring serializes its slow boundary
+// hops 2(N-1) times and the fully-connected exchange — one hop level,
+// every pairwise send on its own link — takes over.
+func TestBestTopologyAwareOfBackhaul(t *testing.T) {
+	for _, mode := range []model.Mode{model.Autoregressive, model.Prompt} {
+		wl := core.Workload{Model: model.TinyLlama42M(), Mode: mode}
+
+		uniform := core.DefaultSystem(8)
+		topo, rep, err := BestTopology(uniform, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topo != hw.TopoRing {
+			t.Errorf("%v uniform: best topology %v, want ring", mode, topo)
+		}
+
+		clustered := core.DefaultSystem(8)
+		clustered.HW.Network = clustered10()
+		ctopo, crep, err := BestTopology(clustered, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ctopo != hw.TopoFullyConnected {
+			t.Errorf("%v clustered: best topology %v, want fully-connected", mode, ctopo)
+		}
+		if crep.Cycles <= rep.Cycles {
+			t.Errorf("%v: clustered best %g cycles not above uniform best %g", mode, crep.Cycles, rep.Cycles)
+		}
+	}
+}
+
+func TestNetworkFrontierGrid(t *testing.T) {
+	base := core.DefaultSystem(1)
+	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Prompt}
+	chips := []int{2, 4, 8}
+	nets := []hw.Network{hw.UniformNetwork(hw.MIPI()), clustered10()}
+
+	points, err := NetworkFrontier(base, wl, chips, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(nets) * len(hw.Topologies()) * len(chips)
+	if len(points) != want {
+		t.Fatalf("%d points, want %d", len(points), want)
+	}
+	// Grouping: networks in input order, topologies in enum order,
+	// chips ascending; every report present and evaluated under its
+	// own network/topology.
+	i := 0
+	paretoCount := 0
+	for _, net := range nets {
+		for _, topo := range hw.Topologies() {
+			for _, n := range chips {
+				p := points[i]
+				i++
+				if p.Network != net || p.Topology != topo || p.Chips != n {
+					t.Fatalf("point %d = (%v, %v, %d), want (%v, %v, %d)",
+						i-1, p.Network, p.Topology, p.Chips, net, topo, n)
+				}
+				if p.Report == nil {
+					t.Fatalf("point %d has no report", i-1)
+				}
+				if p.Report.System.HW.Network != net || p.Report.System.HW.Topology != topo {
+					t.Fatalf("point %d evaluated under the wrong network/topology", i-1)
+				}
+				if p.Pareto {
+					paretoCount++
+				}
+			}
+		}
+	}
+	if paretoCount == 0 {
+		t.Fatal("no Pareto-optimal point in the grid")
+	}
+	// At 2 and 4 chips every edge stays inside one cluster of 4, so
+	// the clustered grid half duplicates the uniform one exactly (and
+	// duplicates may share the front). At 8 chips every topology
+	// crosses the boundary: the backhaul only slows links (same
+	// pJ/B), so each clustered 8-chip point is dominated by its
+	// uniform twin — equal energy, strictly higher latency — and must
+	// be off the front.
+	for _, p := range points {
+		if p.Pareto && p.Network != nets[0] && p.Chips == 8 {
+			t.Errorf("clustered point (%v, %d chips) on the Pareto front despite a strictly faster uniform twin", p.Topology, p.Chips)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 // Package hw defines the hardware parameter sets used across the
 // simulator: the Siracusa-like MCU (compute cluster, memory hierarchy,
-// DMA engines), the MIPI chip-to-chip link, and the energy constants of
-// the paper's analytical model.
+// DMA engines), the chip-to-chip network — a per-edge assignment of
+// link classes (uniform MIPI by default, two-tier clustered and
+// explicit per-edge tables for mixed MIPI/SPI boards) — and the energy
+// constants of the paper's analytical model.
 //
 // All simulator and energy-model packages consume these parameters
 // instead of hard-coding constants, so alternative platforms can be
@@ -67,17 +69,6 @@ type Chip struct {
 	// 500 MHz; the analytical model charges this power for every
 	// cycle a chip is busy.
 	ClusterPowerW float64
-}
-
-// Link describes the chip-to-chip serial interface (MIPI in the paper).
-type Link struct {
-	// BandwidthBytesPerSec is the usable payload bandwidth.
-	BandwidthBytesPerSec float64
-	// SetupCycles is the fixed per-transfer cost (packetization,
-	// handshake) expressed in cluster cycles.
-	SetupCycles int
-	// EnergyPJPerByte is the transfer energy per payload byte.
-	EnergyPJPerByte float64
 }
 
 // Topology selects the interconnect shape of the chip-to-chip
@@ -153,6 +144,26 @@ func ParseTopology(s string) (Topology, error) {
 	}
 }
 
+// MarshalText emits the canonical spelling, so JSON/CSV sinks print
+// "ring" instead of a bare int.
+func (t Topology) MarshalText() ([]byte, error) {
+	if !t.Valid() {
+		return nil, fmt.Errorf("hw: cannot marshal invalid topology %d", int(t))
+	}
+	return []byte(t.String()), nil
+}
+
+// UnmarshalText parses any spelling ParseTopology accepts, so
+// "fully-connected" and the "fc" shorthand both round-trip.
+func (t *Topology) UnmarshalText(text []byte) error {
+	v, err := ParseTopology(string(text))
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}
+
 // Energy holds the constants of the paper's analytical energy model.
 type Energy struct {
 	// L3PJPerByte is the energy of moving one byte between L3 and L2.
@@ -163,12 +174,19 @@ type Energy struct {
 
 // Params is the complete hardware description of the multi-chip system.
 type Params struct {
-	Chip   Chip
-	Link   Link
-	Energy Energy
+	Chip Chip
+	// Network assigns a LinkClass — bandwidth, setup cycles, pJ/B — to
+	// every directed chip-to-chip edge. The uniform profile with the
+	// MIPI class is the paper's network (and the Siracusa default);
+	// clustered and per-edge-table profiles model mixed MIPI/SPI
+	// boards. Network is a comparable value (explicit tables are
+	// carried by content digest), so it participates in the evalpool
+	// cache key like every other hardware parameter.
+	Network Network
+	Energy  Energy
 	// GroupSize is the fan-in of the hierarchical all-reduce tree
-	// (the paper uses groups of four chips). Only TopoTree consults
-	// it.
+	// (the paper uses groups of four chips). Only TopoTree and
+	// TopoStar lower through the tree builder that consults it.
 	GroupSize int
 	// Topology selects the interconnect shape. The zero value is the
 	// paper's hierarchical tree, so existing configurations are
@@ -200,11 +218,7 @@ func Siracusa() Params {
 			KernelSetupCycles:    300,
 			ClusterPowerW:        13e-3,
 		},
-		Link: Link{
-			BandwidthBytesPerSec: 0.5e9,
-			SetupCycles:          256,
-			EnergyPJPerByte:      100,
-		},
+		Network: UniformNetwork(MIPI()),
 		Energy: Energy{
 			L3PJPerByte: 100,
 			L2PJPerByte: 2,
@@ -223,10 +237,19 @@ func (p Params) SecondsToCycles(sec float64) float64 {
 	return sec * p.Chip.FreqHz
 }
 
-// LinkBytesPerCycle is the link bandwidth expressed in payload bytes
-// per cluster cycle, the unit used by the event simulator.
+// LinkBytesPerCycle is the local/uniform link class bandwidth
+// expressed in payload bytes per cluster cycle. Per-edge consumers
+// (the event simulator) resolve each edge's own class via LinkFor;
+// this helper backs the closed-form estimates, which assume the
+// uniform class.
 func (p Params) LinkBytesPerCycle() float64 {
-	return p.Link.BandwidthBytesPerSec / p.Chip.FreqHz
+	return p.Network.Local.BytesPerCycle(p.Chip.FreqHz)
+}
+
+// LinkFor resolves the link class of the directed edge from->to under
+// the platform's network description.
+func (p Params) LinkFor(from, to int) (LinkClass, error) {
+	return p.Network.LinkFor(from, to)
 }
 
 // UsableL2Bytes is the L2 capacity available to the deployment planner
@@ -264,20 +287,20 @@ func (p Params) Validate() error {
 	case c.ClusterPowerW < 0:
 		return errors.New("hw: cluster power must be non-negative")
 	}
-	if p.Link.BandwidthBytesPerSec <= 0 {
-		return errors.New("hw: link bandwidth must be positive")
-	}
-	if p.Link.SetupCycles < 0 || p.Link.EnergyPJPerByte < 0 {
-		return errors.New("hw: link costs must be non-negative")
+	if err := p.Network.Validate(); err != nil {
+		return err
 	}
 	if p.Energy.L3PJPerByte < 0 || p.Energy.L2PJPerByte < 0 {
 		return errors.New("hw: energy constants must be non-negative")
 	}
-	if p.GroupSize < 2 {
-		return errors.New("hw: reduce group size must be at least 2 (select TopoStar for a flat all-to-one reduction)")
-	}
 	if !p.Topology.Valid() {
 		return fmt.Errorf("hw: %s is not a supported topology", p.Topology)
+	}
+	// Only the tree-lowered shapes consult GroupSize; the ring and the
+	// fully-connected exchange ignore it, so a zero or 1 group size
+	// must not reject an otherwise valid ring platform.
+	if (p.Topology == TopoTree || p.Topology == TopoStar) && p.GroupSize < 2 {
+		return errors.New("hw: reduce group size must be at least 2 (select TopoStar for a flat all-to-one reduction)")
 	}
 	return nil
 }

@@ -26,11 +26,14 @@ func TestSiracusaMatchesPaperConstants(t *testing.T) {
 	if p.Chip.L2Bytes != 2*MiB {
 		t.Errorf("L2 = %d, want 2 MiB", p.Chip.L2Bytes)
 	}
-	if p.Link.BandwidthBytesPerSec != 0.5e9 {
-		t.Errorf("link bw = %g, want 0.5 GB/s", p.Link.BandwidthBytesPerSec)
+	if p.Network.Profile != NetUniform {
+		t.Errorf("network profile = %v, want uniform", p.Network.Profile)
 	}
-	if p.Link.EnergyPJPerByte != 100 {
-		t.Errorf("link energy = %g, want 100 pJ/B", p.Link.EnergyPJPerByte)
+	if p.Network.Local.BandwidthBytesPerSec != 0.5e9 {
+		t.Errorf("link bw = %g, want 0.5 GB/s", p.Network.Local.BandwidthBytesPerSec)
+	}
+	if p.Network.Local.EnergyPJPerByte != 100 {
+		t.Errorf("link energy = %g, want 100 pJ/B", p.Network.Local.EnergyPJPerByte)
 	}
 	if p.Energy.L3PJPerByte != 100 || p.Energy.L2PJPerByte != 2 {
 		t.Errorf("memory energies = %g/%g, want 100/2 pJ/B", p.Energy.L3PJPerByte, p.Energy.L2PJPerByte)
@@ -98,9 +101,19 @@ func TestValidateRejectsBadParams(t *testing.T) {
 		{"negative dma setup", func(p *Params) { p.Chip.DMAL2L1SetupCycles = -1 }},
 		{"negative kernel setup", func(p *Params) { p.Chip.KernelSetupCycles = -1 }},
 		{"negative power", func(p *Params) { p.Chip.ClusterPowerW = -1 }},
-		{"zero link bw", func(p *Params) { p.Link.BandwidthBytesPerSec = 0 }},
-		{"negative link setup", func(p *Params) { p.Link.SetupCycles = -1 }},
-		{"negative link energy", func(p *Params) { p.Link.EnergyPJPerByte = -1 }},
+		{"zero link bw", func(p *Params) { p.Network.Local.BandwidthBytesPerSec = 0 }},
+		{"negative link setup", func(p *Params) { p.Network.Local.SetupCycles = -1 }},
+		{"negative link energy", func(p *Params) { p.Network.Local.EnergyPJPerByte = -1 }},
+		{"invalid network profile", func(p *Params) { p.Network.Profile = NetworkProfile(99) }},
+		{"clustered zero cluster size", func(p *Params) {
+			p.Network = ClusteredNetwork(MIPI(), MIPI().Slower(10), 0)
+		}},
+		{"clustered dead backhaul", func(p *Params) {
+			p.Network = ClusteredNetwork(MIPI(), LinkClass{}, 4)
+		}},
+		{"unregistered table", func(p *Params) {
+			p.Network = Network{Profile: NetTable, TableDigest: "no-such-digest"}
+		}},
 		{"negative l3 energy", func(p *Params) { p.Energy.L3PJPerByte = -1 }},
 		{"negative l2 energy", func(p *Params) { p.Energy.L2PJPerByte = -1 }},
 		{"tiny group", func(p *Params) { p.GroupSize = 1 }},
@@ -110,6 +123,25 @@ func TestValidateRejectsBadParams(t *testing.T) {
 		m.mut(&p)
 		if err := p.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted bad params", m.name)
+		}
+	}
+}
+
+// The GroupSize floor only applies to the tree-lowered shapes: the
+// ring and the fully-connected exchange never consult it, so a ring
+// platform with the zero GroupSize must validate.
+func TestGroupSizeFloorOnlyForTreeShapes(t *testing.T) {
+	for _, topo := range Topologies() {
+		p := Siracusa()
+		p.Topology = topo
+		p.GroupSize = 0
+		err := p.Validate()
+		treeLowered := topo == TopoTree || topo == TopoStar
+		if treeLowered && err == nil {
+			t.Errorf("%s: GroupSize=0 accepted for a tree-lowered topology", topo)
+		}
+		if !treeLowered && err != nil {
+			t.Errorf("%s: GroupSize=0 rejected for a topology that never consults it: %v", topo, err)
 		}
 	}
 }

@@ -166,6 +166,11 @@ type Hop struct {
 	// the original partial instead and accumulates only at the
 	// receiver.
 	FromAccumulated bool
+	// Class is the link class of the edge this hop crosses, resolved
+	// from the platform's network description at lowering time. The
+	// zero class marks an unresolved/undefined edge; Validate rejects
+	// it.
+	Class hw.LinkClass
 }
 
 // ReduceHops returns the hops of the all-reduce in a valid dependency
@@ -196,13 +201,14 @@ func (t *Tree) BroadcastHops() []Hop {
 	return hops
 }
 
-// TransferCycles is the time one hop of the given payload occupies its
-// link, in cluster cycles: payload / bandwidth + per-transfer setup.
+// TransferCycles is the time one hop of the given payload occupies a
+// link of the platform's local/uniform class, in cluster cycles:
+// payload / bandwidth + per-transfer setup. The event simulator
+// resolves each hop's own class (heterogeneous networks differ per
+// edge); this closed-form helper assumes the uniform class and backs
+// the analytical estimates.
 func TransferCycles(p hw.Params, payloadBytes int64) float64 {
-	if payloadBytes <= 0 {
-		return 0
-	}
-	return float64(payloadBytes)/p.LinkBytesPerCycle() + float64(p.Link.SetupCycles)
+	return p.Network.Local.TransferCycles(p.Chip.FreqHz, payloadBytes)
 }
 
 // AllReduceBytes is the total link traffic of one all-reduce +

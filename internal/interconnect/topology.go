@@ -40,8 +40,15 @@ type Schedule struct {
 	// N-1 for the ring's reduce-scatter.
 	Depth int
 	// Reduce and Broadcast are the hop lists in dependency order.
+	// NewSchedule resolves each hop's link class from the platform's
+	// network description at lowering time.
 	Reduce    []Hop
 	Broadcast []Hop
+	// Classes lists the distinct link classes the schedule's hops
+	// resolved to, in first-use order — the per-class axis the
+	// simulator splits its chip-to-chip accounting over. A uniform
+	// network always yields exactly one class.
+	Classes []hw.LinkClass
 	// Final lists the chips running the root work, with their shares.
 	Final []Final
 	// Tree is the underlying reduction tree for the shapes that have
@@ -49,9 +56,31 @@ type Schedule struct {
 	Tree *Tree
 }
 
-// NewSchedule lowers a topology selection onto n chips. groupSize is
-// consulted only by TopoTree (the paper's groups of four).
-func NewSchedule(topo hw.Topology, n, groupSize int) (*Schedule, error) {
+// NewSchedule lowers the platform's topology selection onto n chips
+// and resolves every hop's link class under the platform's network
+// description (p.GroupSize is consulted only by the tree-lowered
+// shapes). A topology that routes over an edge the network does not
+// define — an unwired pair of a per-edge table — is rejected here,
+// before any simulation runs.
+func NewSchedule(p hw.Params, n int) (*Schedule, error) {
+	s, err := NewBareSchedule(p.Topology, n, p.GroupSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.annotate(p.Network); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewBareSchedule builds the hop structure of a topology without
+// link-class annotation. It exists for consumers that never execute
+// the collective hops — the pipeline strategy only reports the
+// schedule's shape while transferring on its own handoff chain — so a
+// network that wires just the chain (the natural measured table for a
+// daisy-chained board) must not be rejected for leaving collective
+// edges undefined. Everything that executes hops wants NewSchedule.
+func NewBareSchedule(topo hw.Topology, n, groupSize int) (*Schedule, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("interconnect: need at least one chip, got %d", n)
 	}
@@ -82,6 +111,35 @@ func NewSchedule(topo hw.Topology, n, groupSize int) (*Schedule, error) {
 	default:
 		return nil, fmt.Errorf("interconnect: %s is not a supported topology", topo)
 	}
+}
+
+// annotate resolves each hop's link class under the network
+// description and collects the distinct classes in first-use order
+// (the per-class accounting axis of the simulator). Reduce hops are
+// resolved before broadcast hops, so class 0 is always the class of
+// the first reduce hop.
+func (s *Schedule) annotate(net hw.Network) error {
+	s.Classes = nil
+	seen := map[hw.LinkClass]bool{}
+	assign := func(hops []Hop) error {
+		for i := range hops {
+			c, err := net.LinkFor(hops[i].From, hops[i].To)
+			if err != nil {
+				return fmt.Errorf("interconnect: %s schedule over %d chips: hop %d->%d: %w",
+					s.Topology, s.N, hops[i].From, hops[i].To, err)
+			}
+			hops[i].Class = c
+			if !seen[c] {
+				seen[c] = true
+				s.Classes = append(s.Classes, c)
+			}
+		}
+		return nil
+	}
+	if err := assign(s.Reduce); err != nil {
+		return err
+	}
+	return assign(s.Broadcast)
 }
 
 // scheduleFromTree lowers a reduction tree (hierarchical or flat) to
@@ -205,8 +263,10 @@ func (s *Schedule) CollectiveBytes(reducePayload, bcastPayload int64) int64 {
 }
 
 // Validate checks the structural invariants every schedule must hold:
-// indices in range, sane fractions, each chip's partial reaching a
-// finalizing chip exactly once per chunk, and the broadcast phase
+// indices in range, sane fractions, every hop resolved to a defined
+// link class (no routing over unwired edges), each chip's partial
+// reaching a finalizing chip exactly once per chunk, and the broadcast
+// phase
 // (together with the finalize placement) delivering every chunk to
 // every chip in dependency order.
 func (s *Schedule) Validate() error {
@@ -225,6 +285,9 @@ func (s *Schedule) Validate() error {
 		}
 		if h.Frac <= 0 || h.Frac > 1 {
 			return fmt.Errorf("interconnect: hop %d->%d fraction %g out of (0,1]", h.From, h.To, h.Frac)
+		}
+		if !h.Class.Defined() {
+			return fmt.Errorf("interconnect: hop %d->%d crosses an undefined edge (no link class resolved; lower the schedule with NewSchedule against a network that wires it)", h.From, h.To)
 		}
 	}
 

@@ -6,6 +6,15 @@ import (
 	"mcudist/internal/hw"
 )
 
+// netParams returns a Siracusa platform (uniform MIPI network) with
+// the given topology and group size.
+func netParams(topo hw.Topology, groupSize int) hw.Params {
+	p := hw.Siracusa()
+	p.Topology = topo
+	p.GroupSize = groupSize
+	return p
+}
+
 // Every topology's schedule must satisfy the structural invariants:
 // each chip's partial folded into a finalizing chip exactly once per
 // chunk, and the broadcast phase delivering every chunk to every chip
@@ -15,7 +24,7 @@ import (
 func TestScheduleInvariantsAllTopologies(t *testing.T) {
 	for _, topo := range hw.Topologies() {
 		for _, n := range []int{1, 2, 3, 4, 5, 8, 13, 16, 33, 64} {
-			sched, err := NewSchedule(topo, n, 4)
+			sched, err := NewSchedule(netParams(topo, 4), n)
 			if err != nil {
 				t.Fatalf("%s n=%d: %v", topo, n, err)
 			}
@@ -32,7 +41,7 @@ func TestScheduleInvariantsAllTopologies(t *testing.T) {
 // The default tree schedule must be exactly the tree's hop lists —
 // the simulator path the golden tests pin byte-identical.
 func TestTreeScheduleMatchesTree(t *testing.T) {
-	sched, err := NewSchedule(hw.TopoTree, 8, 4)
+	sched, err := NewSchedule(netParams(hw.TopoTree, 4), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +68,7 @@ func TestTreeScheduleMatchesTree(t *testing.T) {
 // tree: one group, every chip a direct child of the root.
 func TestStarScheduleIsFlat(t *testing.T) {
 	for _, n := range []int{1, 2, 7, 16} {
-		sched, err := NewSchedule(hw.TopoStar, n, 4) // group size ignored
+		sched, err := NewSchedule(netParams(hw.TopoStar, 4), n) // group size ignored
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +91,7 @@ func TestStarScheduleIsFlat(t *testing.T) {
 // (i+1) mod N after the reduce-scatter, root work sharded 1/N.
 func TestRingScheduleShape(t *testing.T) {
 	const n = 8
-	sched, err := NewSchedule(hw.TopoRing, n, 4)
+	sched, err := NewSchedule(netParams(hw.TopoRing, 4), n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +125,7 @@ func TestRingScheduleShape(t *testing.T) {
 // broadcast, root work replicated on every chip.
 func TestFullyConnectedScheduleShape(t *testing.T) {
 	const n = 5
-	sched, err := NewSchedule(hw.TopoFullyConnected, n, 4)
+	sched, err := NewSchedule(netParams(hw.TopoFullyConnected, 4), n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +159,7 @@ func TestCollectiveBytes(t *testing.T) {
 		{hw.TopoRing, (n - 1) * (r + b)},
 		{hw.TopoFullyConnected, n * (n - 1) * r},
 	} {
-		sched, err := NewSchedule(tc.topo, n, 4)
+		sched, err := NewSchedule(netParams(tc.topo, 4), n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,20 +185,20 @@ func TestScalePayload(t *testing.T) {
 }
 
 func TestNewScheduleErrors(t *testing.T) {
-	if _, err := NewSchedule(hw.TopoTree, 0, 4); err == nil {
+	if _, err := NewSchedule(netParams(hw.TopoTree, 4), 0); err == nil {
 		t.Error("zero chips accepted")
 	}
-	if _, err := NewSchedule(hw.TopoTree, 8, 1); err == nil {
+	if _, err := NewSchedule(netParams(hw.TopoTree, 1), 8); err == nil {
 		t.Error("group size 1 accepted for the tree")
 	}
-	if _, err := NewSchedule(hw.Topology(99), 8, 4); err == nil {
+	if _, err := NewSchedule(netParams(hw.Topology(99), 4), 8); err == nil {
 		t.Error("unknown topology accepted")
 	}
 	// Star and ring do not consult the group size.
-	if _, err := NewSchedule(hw.TopoStar, 8, 0); err != nil {
+	if _, err := NewSchedule(netParams(hw.TopoStar, 0), 8); err != nil {
 		t.Errorf("star rejected irrelevant group size: %v", err)
 	}
-	if _, err := NewSchedule(hw.TopoRing, 8, 0); err != nil {
+	if _, err := NewSchedule(netParams(hw.TopoRing, 0), 8); err != nil {
 		t.Errorf("ring rejected irrelevant group size: %v", err)
 	}
 }
@@ -231,9 +240,9 @@ func TestBuildTreeEdgeCases(t *testing.T) {
 // A corrupted schedule must fail validation: duplicated contribution,
 // missing broadcast coverage, and out-of-order forwarding.
 func TestScheduleValidateCatchesCorruption(t *testing.T) {
-	sched, _ := NewSchedule(hw.TopoTree, 8, 4)
+	sched, _ := NewSchedule(netParams(hw.TopoTree, 4), 8)
 	dup := *sched
-	dup.Reduce = append(append([]Hop{}, sched.Reduce...), Hop{From: 1, To: 0, Frac: 1, FromAccumulated: false})
+	dup.Reduce = append(append([]Hop{}, sched.Reduce...), Hop{From: 1, To: 0, Frac: 1, FromAccumulated: false, Class: hw.MIPI()})
 	if err := dup.Validate(); err == nil {
 		t.Error("double contribution not caught")
 	}

@@ -10,9 +10,12 @@
 // interconnect.Schedule — the simulator executes whatever hop lists
 // the selected topology lowered to, holding no structural knowledge of
 // its own. Every (from, to) chip pair used by a schedule is an
-// independent full-duplex MIPI link (the Fig. 1 hub wiring
-// generalized), so partials converging on a chip arrive concurrently
-// while that chip's accumulations serialize on its cluster.
+// independent full-duplex link (the Fig. 1 hub wiring generalized)
+// driven at its own edge's link class — bandwidth, setup, pJ/B —
+// resolved from the platform's network description, so mixed MIPI/SPI
+// boards and clustered backhauls simulate natively; partials
+// converging on a chip arrive concurrently while that chip's
+// accumulations serialize on its cluster.
 // Collective payloads move in tiles, letting the broadcast of early
 // tiles overlap the reduction of later ones.
 package perfsim
@@ -42,6 +45,13 @@ type ChipStats struct {
 	L3SpillBytes int64 // activation-spill share of L3Bytes
 	L2L1Bytes    int64
 	C2CSentBytes int64
+	// C2CCyclesByClass / C2CSentBytesByClass split the chip-to-chip
+	// totals per link class, indexed like Result.LinkClasses — the
+	// axis heterogeneous networks (fast local links, slow backhaul)
+	// are analyzed and billed on. A uniform network has exactly one
+	// class, so index 0 equals the totals.
+	C2CCyclesByClass    []float64
+	C2CSentBytesByClass []int64
 	// End is the chip's final timestamp.
 	End float64
 }
@@ -73,6 +83,11 @@ type Result struct {
 	TreeDepth int
 	// Topology is the interconnect shape the run used.
 	Topology hw.Topology
+	// LinkClasses lists the distinct link classes the run's transfers
+	// crossed, in first-use order; the per-class counters in ChipStats
+	// are indexed against it. The energy model charges each class's
+	// own pJ/B.
+	LinkClasses []hw.LinkClass
 	// TotalC2CBytes is the summed link traffic.
 	TotalC2CBytes int64
 }
@@ -86,11 +101,30 @@ type sim struct {
 	io      []*eventsim.Resource
 	// links holds one full-duplex resource per directed chip pair the
 	// schedule uses, created on demand.
-	links    map[[2]int]*eventsim.Resource
-	stats    []ChipStats
-	syncs    int
-	commTile int64
-	tl       *trace.Timeline
+	links map[[2]int]*eventsim.Resource
+	// classes/classID intern the distinct link classes transfers
+	// cross (schedule classes first, pipeline-chain classes as they
+	// appear), defining the per-class accounting axis.
+	classes []hw.LinkClass
+	classID map[hw.LinkClass]int
+	// pipeClasses[c] is the resolved class of the pipeline handoff
+	// edge c -> c+1 (pipeline strategy only).
+	pipeClasses []hw.LinkClass
+	stats       []ChipStats
+	syncs       int
+	commTile    int64
+	tl          *trace.Timeline
+}
+
+// classIndex interns a link class into the per-class accounting axis.
+func (s *sim) classIndex(c hw.LinkClass) int {
+	if id, ok := s.classID[c]; ok {
+		return id
+	}
+	id := len(s.classes)
+	s.classes = append(s.classes, c)
+	s.classID[c] = id
+	return id
 }
 
 // link returns the exclusive resource of the directed edge from->to.
@@ -119,7 +153,17 @@ func Run(d *deploy.Deployment) (*Result, error) {
 // kernel, DMA transfer, and link hop into tl (when non-nil).
 func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 	n := d.Plan.Chips
-	sched, err := interconnect.NewSchedule(d.HW.Topology, n, d.HW.GroupSize)
+	var sched *interconnect.Schedule
+	var err error
+	if d.Plan.Strategy == partition.Pipeline {
+		// The pipeline never executes the collective hops — it
+		// transfers only on its handoff chain (resolved below) — so a
+		// network that wires just the chain must not be rejected for
+		// leaving collective edges undefined.
+		sched, err = interconnect.NewBareSchedule(d.HW.Topology, n, d.HW.GroupSize)
+	} else {
+		sched, err = interconnect.NewSchedule(d.HW, n)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -135,14 +179,35 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 		dma:      make([]*eventsim.Resource, n),
 		io:       make([]*eventsim.Resource, n),
 		links:    make(map[[2]int]*eventsim.Resource),
+		classID:  make(map[hw.LinkClass]int),
 		stats:    make([]ChipStats, n),
 		commTile: commTile,
 		tl:       tl,
+	}
+	// Seed the accounting axis with the schedule's classes so class
+	// order is deterministic (first reduce hop's class is class 0)
+	// regardless of which hop executes first.
+	for _, c := range sched.Classes {
+		s.classIndex(c)
 	}
 	for i := 0; i < n; i++ {
 		s.cluster[i] = eventsim.NewResource(s.eng, fmt.Sprintf("cluster%d", i))
 		s.dma[i] = eventsim.NewResource(s.eng, fmt.Sprintf("dma%d", i))
 		s.io[i] = eventsim.NewResource(s.eng, fmt.Sprintf("io%d", i))
+	}
+	if d.Plan.Strategy == partition.Pipeline {
+		// The pipeline handoff chain is not part of the collective
+		// schedule; resolve its edges against the network up front so
+		// an unwired chain edge fails before simulation, like any
+		// schedule hop over an undefined edge.
+		s.pipeClasses = make([]hw.LinkClass, n)
+		for c := 0; c+1 < n; c++ {
+			cls, err := d.HW.LinkFor(c, c+1)
+			if err != nil {
+				return nil, fmt.Errorf("perfsim: pipeline handoff %d->%d: %w", c, c+1, err)
+			}
+			s.pipeClasses[c] = cls
+		}
 	}
 
 	var end float64
@@ -163,9 +228,17 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 		Syncs:       s.syncs,
 		TreeDepth:   sched.Depth,
 		Topology:    sched.Topology,
+		LinkClasses: s.classes,
 	}
 	for i := range s.stats {
 		res.TotalC2CBytes += s.stats[i].C2CSentBytes
+		// Pad the per-class counters to the full class axis: a chip
+		// that never crossed a late-interned class still reports a
+		// zero for it.
+		for len(s.stats[i].C2CCyclesByClass) < len(s.classes) {
+			s.stats[i].C2CCyclesByClass = append(s.stats[i].C2CCyclesByClass, 0)
+			s.stats[i].C2CSentBytesByClass = append(s.stats[i].C2CSentBytesByClass, 0)
+		}
 	}
 	if d.Plan.Strategy == partition.Pipeline {
 		// Stages run serially: the whole-system breakdown is the sum
@@ -297,11 +370,13 @@ func (s *sim) phase(chip int, t float64, ops []kernels.Cost, exposedL3 int64, sp
 	return t
 }
 
-// hopOn moves payload across one directed link resource. Links
-// touching a degraded chip (failure injection) transfer at the
-// configured fraction of nominal bandwidth.
-func (s *sim) hopOn(link *eventsim.Resource, from, to int, ready float64, payload int64) float64 {
-	dur := interconnect.TransferCycles(s.d.HW, payload)
+// hopOn moves payload across one directed link resource of the given
+// link class — each edge transfers at its own class's rate and setup
+// cost, which is what lets one schedule mix fast local links with a
+// slow backhaul. Links touching a degraded chip (failure injection)
+// transfer at the configured fraction of nominal bandwidth.
+func (s *sim) hopOn(link *eventsim.Resource, from, to int, ready float64, payload int64, class hw.LinkClass) float64 {
+	dur := class.TransferCycles(s.d.HW.Chip.FreqHz, payload)
 	if f := s.d.Options.DegradedLinkFactor; f > 0 && (from == s.d.Options.DegradedLinkChip || to == s.d.Options.DegradedLinkChip) {
 		dur /= f
 	}
@@ -309,10 +384,18 @@ func (s *sim) hopOn(link *eventsim.Resource, from, to int, ready float64, payloa
 	// Each tree edge is its own full-duplex PHY: trace it as its own
 	// exclusive resource.
 	s.span(from, link.Name(), fmt.Sprintf("%d->%d", from, to), end-dur, end)
-	s.stats[from].C2CCycles += dur
-	s.stats[from].C2CSentBytes += payload
-	if end > s.stats[from].End {
-		s.stats[from].End = end
+	id := s.classIndex(class)
+	st := &s.stats[from]
+	st.C2CCycles += dur
+	st.C2CSentBytes += payload
+	for len(st.C2CCyclesByClass) <= id {
+		st.C2CCyclesByClass = append(st.C2CCyclesByClass, 0)
+		st.C2CSentBytesByClass = append(st.C2CSentBytesByClass, 0)
+	}
+	st.C2CCyclesByClass[id] += dur
+	st.C2CSentBytesByClass[id] += payload
+	if end > st.End {
+		st.End = end
 	}
 	if end > s.stats[to].End {
 		s.stats[to].End = end
@@ -398,7 +481,7 @@ func (s *sim) sync(ready []float64, reducePayload, bcastPayload int64, rootWork 
 				start = ready[h.From]
 			}
 			end := s.hopOn(s.link(h.From, h.To), h.From, h.To, start,
-				interconnect.ScalePayload(tiles[k], h.Frac))
+				interconnect.ScalePayload(tiles[k], h.Frac), h.Class)
 			addEnd := s.execScaled(h.To, maxF(end, partial[h.To][h.Chunk]), s.d.ReduceAdd, frac*h.Frac)
 			partial[h.To][h.Chunk] = addEnd
 		}
@@ -414,7 +497,7 @@ func (s *sim) sync(ready []float64, reducePayload, bcastPayload int64, rootWork 
 		}
 		for _, h := range sc.Broadcast {
 			end := s.hopOn(s.link(h.From, h.To), h.From, h.To, has[h.From][h.Chunk],
-				interconnect.ScalePayload(bcastTiles[k], h.Frac))
+				interconnect.ScalePayload(bcastTiles[k], h.Frac), h.Class)
 			if end > has[h.To][h.Chunk] {
 				has[h.To][h.Chunk] = end
 			}
@@ -558,7 +641,7 @@ func (s *sim) runPipeline() float64 {
 			t = s.phase(c, t, cd.MHSA, cd.ExposedMHSABytes, spill)
 		}
 		if c+1 < n {
-			t = s.hopOn(s.link(c, c+1), c, c+1, t, actPayload)
+			t = s.hopOn(s.link(c, c+1), c, c+1, t, actPayload, s.pipeClasses[c])
 		}
 	}
 	return t

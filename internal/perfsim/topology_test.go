@@ -39,7 +39,7 @@ func TestTopologyTrafficConservation(t *testing.T) {
 	for _, topo := range hw.Topologies() {
 		for _, n := range []int{2, 4, 8} {
 			res, d, _ := runTopo(t, topo, n, model.Prompt)
-			sched, err := interconnect.NewSchedule(topo, n, d.HW.GroupSize)
+			sched, err := interconnect.NewSchedule(d.HW, n)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -48,6 +48,17 @@ type (
 	// Topology selects the interconnect shape of the chip-to-chip
 	// network (System.HW.Topology; TopologyTree is the paper's).
 	Topology = hw.Topology
+	// LinkClass is one class of chip-to-chip link: bandwidth, setup
+	// cycles, and pJ/B.
+	LinkClass = hw.LinkClass
+	// Network assigns a LinkClass to every directed chip-to-chip edge
+	// (System.HW.Network; the uniform MIPI network is the paper's).
+	Network = hw.Network
+	// NetworkProfile selects how a Network assigns classes to edges:
+	// uniform, two-tier clustered, or an explicit per-edge table.
+	NetworkProfile = hw.NetworkProfile
+	// Edge is one directed chip pair of a per-edge link table.
+	Edge = hw.Edge
 )
 
 // Model description API.
@@ -75,6 +86,9 @@ type (
 	// TopologyPoint is one (topology, chip count) configuration of a
 	// topology-aware design-space sweep.
 	TopologyPoint = explore.TopologyPoint
+	// NetworkPoint is one (topology, network, chip count)
+	// configuration of a network-aware design-space sweep.
+	NetworkPoint = explore.NetworkPoint
 )
 
 // Inference modes.
@@ -110,6 +124,19 @@ const (
 	TopologyRing = hw.TopoRing
 	// TopologyFullyConnected is the all-to-all pairwise exchange.
 	TopologyFullyConnected = hw.TopoFullyConnected
+)
+
+// Network profiles.
+const (
+	// NetworkUniform assigns one link class to every edge (the
+	// paper's all-MIPI assumption, and the default).
+	NetworkUniform = hw.NetUniform
+	// NetworkClustered is the two-tier board: fast links inside
+	// clusters, a slower backhaul between them.
+	NetworkClustered = hw.NetClustered
+	// NetworkTable resolves edges from an explicit per-edge table
+	// (measured board wirings).
+	NetworkTable = hw.NetTable
 )
 
 // Run plans, simulates, and evaluates one workload on one system.
@@ -240,4 +267,36 @@ func BestTopology(base System, wl Workload) (Topology, *Report, error) {
 // the union.
 func TopologyFrontier(base System, wl Workload, chips []int) ([]TopologyPoint, error) {
 	return explore.TopologyFrontier(base, wl, chips)
+}
+
+// MIPI returns the paper's chip-to-chip link class: 0.5 GB/s, 256
+// setup cycles, 100 pJ/B.
+func MIPI() LinkClass { return hw.MIPI() }
+
+// UniformNetwork wires every edge with one link class — the paper's
+// network and the default (Siracusa() uses UniformNetwork(MIPI())).
+func UniformNetwork(c LinkClass) Network { return hw.UniformNetwork(c) }
+
+// ClusteredNetwork builds the two-tier board: consecutive clusters of
+// clusterSize chips wired with local internally and backhaul between
+// clusters.
+func ClusteredNetwork(local, backhaul LinkClass, clusterSize int) Network {
+	return hw.ClusteredNetwork(local, backhaul, clusterSize)
+}
+
+// TableNetwork registers an explicit per-edge link table (a measured
+// board wiring) and returns the Network referencing it; schedules
+// that route over unwired edges are rejected at lowering time.
+func TableNetwork(edges map[Edge]LinkClass) (Network, error) { return hw.TableNetwork(edges) }
+
+// ParseNetworkProfile maps a command-line spelling (uniform |
+// clustered | table) to a NetworkProfile.
+func ParseNetworkProfile(s string) (NetworkProfile, error) { return hw.ParseNetworkProfile(s) }
+
+// NetworkFrontier evaluates the workload over the full topology ×
+// network × chip-count grid and marks the latency/energy Pareto front
+// across the union — the link layer as an exploration axis next to
+// the shape and the chip count.
+func NetworkFrontier(base System, wl Workload, chips []int, nets []Network) ([]NetworkPoint, error) {
+	return explore.NetworkFrontier(base, wl, chips, nets)
 }

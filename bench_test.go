@@ -15,6 +15,7 @@ import (
 	"mcudist/internal/core"
 	"mcudist/internal/evalpool"
 	"mcudist/internal/experiments"
+	"mcudist/internal/explore"
 	"mcudist/internal/model"
 )
 
@@ -360,6 +361,52 @@ func BenchmarkAblationNetworkBackhaul(b *testing.B) {
 			b.ReportMetric(r.Cycles, r.Label+"_cycles_64chips")
 		}
 	}
+}
+
+// BenchmarkAblationSyncPlan runs the per-sync collective plan
+// ablation: prefill+decode sessions under the hybrid and the uniform
+// baselines at 8 and 64 chips.
+func BenchmarkAblationSyncPlan(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
+		r, err := experiments.AblationSyncPlan()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		if r.Chips == 64 {
+			b.ReportMetric(r.Cycles, r.Label+"_cycles_64chips")
+		}
+	}
+}
+
+// BenchmarkAutotunePlan measures the per-sync plan autotuner — the
+// exact class×topology enumeration through the evalpool engine — at
+// the 64-chip scaled operating point, both regimes, with a cold cache
+// each iteration so the full grid is simulated.
+func BenchmarkAutotunePlan(b *testing.B) {
+	sys := core.DefaultSystem(64)
+	prompt := core.Workload{Model: model.TinyLlamaScaled64(), Mode: model.Prompt}
+	decode := core.Workload{Model: model.TinyLlamaScaled64(), Mode: model.Autoregressive}
+	var pre, dec *explore.AutotuneResult
+	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
+		p, err := explore.AutotunePlan(sys, prompt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := explore.AutotunePlan(sys, decode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pre, dec = p, d
+	}
+	b.ReportMetric(pre.Margin, "prompt_margin")
+	b.ReportMetric(dec.Margin, "decode_margin")
+	b.ReportMetric(float64(len(pre.PerClass)+len(dec.PerClass)), "classes_tuned")
 }
 
 // BenchmarkAblationStraggler measures the cost of one throttled chip.

@@ -30,7 +30,7 @@ type step struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations topology network extensions")
+	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations topology network syncplan extensions")
 	workers := flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 	cluster := flag.Int("cluster", 4, "network ablation: chips per fast local cluster")
 	backhaul := flag.Float64("backhaul", 10, "network ablation: inter-cluster bandwidth slowdown vs MIPI")
@@ -50,6 +50,7 @@ func main() {
 		{"ablations", ablations},
 		{"topology", topology},
 		{"network", network(*cluster, *backhaul)},
+		{"syncplan", syncplan},
 		{"extensions", extensions},
 	}
 	ran := 0
@@ -213,6 +214,14 @@ func network(cluster int, backhaul float64) func() error {
 				return experiments.AblationNetworkBackhaul(cluster, backhaul)
 			})
 	}
+}
+
+// syncplan renders the per-sync collective plan ablation: one prompt
+// prefill + one decode step per row, the prefill-on-ring /
+// decode-on-tree hybrid against both uniform baselines.
+func syncplan() error {
+	return ablationTable("per-sync collective plans (one prefill + one decode step)",
+		experiments.AblationSyncPlan)
 }
 
 func extensions() error {

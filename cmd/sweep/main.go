@@ -9,6 +9,8 @@
 //	sweep -model tinyllama -mode prompt -chips 8 -topology ring
 //	sweep -model scaled -mode prompt -chips 16,64 -topology ring \
 //	      -network clustered -cluster 4 -backhaul 10
+//	sweep -model scaled -mode prompt -chips 64 -plan prefill=ring,decode=tree
+//	sweep -model scaled -mode prompt -chips 16,64 -autotune
 package main
 
 import (
@@ -18,8 +20,10 @@ import (
 	"strconv"
 	"strings"
 
+	"mcudist/internal/collective"
 	"mcudist/internal/core"
 	"mcudist/internal/evalpool"
+	"mcudist/internal/explore"
 	"mcudist/internal/hw"
 	"mcudist/internal/model"
 	"mcudist/internal/report"
@@ -35,6 +39,8 @@ func main() {
 		netName   = flag.String("network", "uniform", "link-layer profile: uniform | clustered")
 		backhaul  = flag.Float64("backhaul", 10, "clustered profile: inter-cluster bandwidth slowdown vs MIPI")
 		cluster   = flag.Int("cluster", 4, "clustered profile: chips per fast local cluster")
+		planSpec  = flag.String("plan", "", "per-sync collective plan, e.g. prefill=ring,decode=tree (empty = uniform -topology)")
+		autotune  = flag.Bool("autotune", false, "autotune the per-sync plan at each chip count and report it against the best uniform topology")
 		workers   = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -47,6 +53,13 @@ func main() {
 	network, err := buildNetwork(*netName, *cluster, *backhaul)
 	if err != nil {
 		fatal(err)
+	}
+	plan, err := collective.ParsePlan(*planSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if *autotune && !plan.IsZero() {
+		fatal(fmt.Errorf("choose -plan or -autotune, not both"))
 	}
 
 	var cfg model.Config
@@ -75,9 +88,14 @@ func main() {
 	}
 
 	wl := core.Workload{Model: cfg, Mode: mode, SeqLen: *seqLen}
+	if *autotune {
+		autotuneSweep(topo, network, wl, chips)
+		return
+	}
 	base1 := core.DefaultSystem(1)
 	base1.HW.Topology = topo
 	base1.HW.Network = network
+	base1.Options.SyncPlan = plan
 	reports, err := evalpool.Eval(base1, wl, chips)
 	if err != nil {
 		fatal(err)
@@ -91,6 +109,31 @@ func main() {
 		t.AddRow(chips[i], r.Cycles, r.Seconds*1e3, core.Speedup(base, r),
 			r.Breakdown.Compute, r.Breakdown.L2L1, r.Breakdown.L3, r.Breakdown.C2C,
 			r.Energy.Total()*1e3, r.EDP, r.Tier.String())
+	}
+	if err := t.CSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// autotuneSweep emits one CSV row per chip count: the autotuned
+// per-sync plan against the best uniform topology. The plan column
+// joins assignments with "+" (the flag syntax's commas would split
+// the CSV cell); ParsePlan accepts both separators, so the cell
+// pastes straight back into -plan.
+func autotuneSweep(topo hw.Topology, network hw.Network, wl core.Workload, chips []int) {
+	t := report.NewTable("", "chips", "plan", "cycles", "ms",
+		"best_uniform", "uniform_cycles", "margin")
+	for _, n := range chips {
+		sys := core.DefaultSystem(n)
+		sys.HW.Topology = topo
+		sys.HW.Network = network
+		res, err := explore.AutotunePlan(sys, wl)
+		if err != nil {
+			fatal(fmt.Errorf("%d chips: %w", n, err))
+		}
+		t.AddRow(n, strings.ReplaceAll(res.Plan.String(), ",", "+"),
+			res.Report.Cycles, res.Report.Seconds*1e3,
+			res.BestUniform.String(), res.UniformReport.Cycles, res.Margin)
 	}
 	if err := t.CSV(os.Stdout); err != nil {
 		fatal(err)

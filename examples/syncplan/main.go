@@ -1,0 +1,88 @@
+// Per-sync collective plans: no single interconnect shape wins both
+// inference regimes — the ring's payload/N chunks take the
+// large-payload prompt prefill while the tree's few serialized setups
+// keep the small-payload decode at scale. This example autotunes a
+// plan per synchronization class, prints the per-class winner table,
+// and compares the merged prefill+decode plan against the best
+// run-wide topology on a full generation step.
+//
+// Two operating points: the paper's 64-chip scaled TinyLlama, where
+// the regimes diverge and the hybrid wins, and SmolLM-135M at its
+// grouped-query-attention cap (the GQA split is per KV group, so its
+// 3 KV heads cap tensor parallelism at 3 chips).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcudist"
+)
+
+func main() {
+	autotunePoint("scaled-64h TinyLlama", mcudist.TinyLlamaScaled64(), 64)
+
+	smol := mcudist.SmolLM135M()
+	counts := mcudist.LegalChipCounts(smol, 64)
+	autotunePoint("SmolLM-135M (GQA-capped)", smol, counts[len(counts)-1])
+}
+
+func autotunePoint(name string, cfg mcudist.Config, chips int) {
+	sys := mcudist.DefaultSystem(chips)
+	prompt := mcudist.Workload{Model: cfg, Mode: mcudist.Prompt}
+	decode := mcudist.Workload{Model: cfg, Mode: mcudist.Autoregressive}
+
+	pre, err := mcudist.AutotunePlan(sys, prompt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := mcudist.AutotunePlan(sys, decode)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %d chips — per-class winners\n", name, chips)
+	fmt.Printf("  %-14s %s\n", "sync class", "topology")
+	for _, res := range []*mcudist.AutotuneResult{pre, dec} {
+		for _, cc := range res.PerClass {
+			fmt.Printf("  %-14s %s\n", cc.Class, cc.Topology)
+		}
+		// The margin is a property of the whole (per-mode) plan, not
+		// of any single class.
+		fmt.Printf("  → plan margin %.3fx vs best uniform (%s)\n", res.Margin, res.BestUniform)
+	}
+
+	merged, err := pre.Plan.Merge(dec.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  merged plan: %s\n", merged)
+
+	// One full generation step — a prompt prefill plus a decode step —
+	// under the merged plan against the best run-wide topology.
+	session := func(sys mcudist.System) float64 {
+		p, err := mcudist.Run(sys, prompt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := mcudist.Run(sys, decode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p.Cycles + d.Cycles
+	}
+	planned := sys
+	planned.Options.SyncPlan = merged
+	plannedCycles := session(planned)
+
+	bestUniform, bestCycles := mcudist.TopologyTree, 0.0
+	for _, topo := range mcudist.Topologies() {
+		uni := sys
+		uni.HW.Topology = topo
+		if c := session(uni); bestCycles == 0 || c < bestCycles {
+			bestUniform, bestCycles = topo, c
+		}
+	}
+	fmt.Printf("  prefill+decode: %.0f cycles planned vs %.0f on uniform %s (%.3fx)\n\n",
+		plannedCycles, bestCycles, bestUniform, bestCycles/plannedCycles)
+}

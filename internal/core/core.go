@@ -77,6 +77,15 @@ type Report struct {
 	C2CBytes int64
 	// PerChip carries the raw simulator counters.
 	PerChip []perfsim.ChipStats
+	// ByClass splits the synchronization and link accounting per
+	// synchronization class (which classes ran, on which topology,
+	// with how much traffic) — the attribution axis for per-sync
+	// collective plans.
+	ByClass []perfsim.ClassStats
+	// C2CEnergyByClass itemizes the chip-to-chip energy per
+	// synchronization class; it sums to Energy.C2C for the collective
+	// strategies.
+	C2CEnergyByClass []energy.ClassEnergy
 }
 
 // Run plans, simulates, and evaluates one workload on one system.
@@ -110,6 +119,9 @@ func Run(sys System, wl Workload) (*Report, error) {
 		Syncs:     res.Syncs,
 		C2CBytes:  res.TotalC2CBytes,
 		PerChip:   res.PerChip,
+		ByClass:   res.ByClass,
+
+		C2CEnergyByClass: energy.C2CByClass(sys.HW, res),
 	}
 	for i := range res.PerChip {
 		rep.L3Bytes += res.PerChip[i].L3Bytes

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"mcudist/internal/collective"
 	"mcudist/internal/hw"
 	"mcudist/internal/model"
 )
@@ -18,6 +19,10 @@ import (
 // refactors are restructurings, not model changes. The ring and
 // fully-connected rows were captured immediately before the link
 // model changed, from the same commit the tree/star rows survived.
+// Since the per-sync collective plan subsystem, every row runs twice:
+// once with the run-wide topology selector (zero plan) and once as a
+// uniform plan binding every synchronization class to the row's shape
+// on a default platform — both must reproduce the same bits.
 //
 // If a later PR intentionally changes the cost model (kernels, deploy
 // planner, energy constants), re-baseline these constants in that PR
@@ -146,16 +151,8 @@ func TestGoldenTreeByteIdentical(t *testing.T) {
 		t.Fatal("default network is not UniformNetwork(MIPI())")
 	}
 	for _, g := range goldens {
-		t.Run(g.name, func(t *testing.T) {
-			sys := DefaultSystem(g.chips)
-			sys.HW.Topology = g.topology
-			if g.flatVia {
-				sys.HW.GroupSize = g.chips
-			}
-			rep, err := Run(sys, Workload{Model: g.cfg(), Mode: g.mode})
-			if err != nil {
-				t.Fatal(err)
-			}
+		check := func(t *testing.T, rep *Report) {
+			t.Helper()
 			bits := func(field string, got float64, want uint64) {
 				if math.Float64bits(got) != want {
 					t.Errorf("%s = %.17g (bits 0x%016x), want bits 0x%016x",
@@ -177,6 +174,39 @@ func TestGoldenTreeByteIdentical(t *testing.T) {
 			if rep.Syncs != g.syncs {
 				t.Errorf("syncs = %d, want %d", rep.Syncs, g.syncs)
 			}
+		}
+		t.Run(g.name, func(t *testing.T) {
+			// The zero collective plan is the default here: these rows
+			// also pin that an unset plan leaves the single-topology
+			// path untouched.
+			sys := DefaultSystem(g.chips)
+			sys.HW.Topology = g.topology
+			if g.flatVia {
+				sys.HW.GroupSize = g.chips
+			}
+			rep, err := Run(sys, Workload{Model: g.cfg(), Mode: g.mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, rep)
+		})
+		t.Run(g.name+"-planned", func(t *testing.T) {
+			// The same numbers must reproduce when the topology is
+			// selected per synchronization class instead of run-wide:
+			// a uniform collective plan binding every class to g's
+			// shape, on an otherwise default (tree) platform, is the
+			// same simulation — per-sync scheduling is a
+			// restructuring, not a model change.
+			sys := DefaultSystem(g.chips)
+			if g.flatVia {
+				sys.HW.GroupSize = g.chips
+			}
+			sys.Options.SyncPlan = collective.Uniform(g.topology)
+			rep, err := Run(sys, Workload{Model: g.cfg(), Mode: g.mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, rep)
 		})
 	}
 }

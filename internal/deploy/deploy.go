@@ -9,6 +9,7 @@ package deploy
 import (
 	"fmt"
 
+	"mcudist/internal/collective"
 	"mcudist/internal/hw"
 	"mcudist/internal/kernels"
 	"mcudist/internal/mem"
@@ -36,6 +37,16 @@ type Options struct {
 	DegradedLinkFactor float64
 	// DegradedLinkChip selects the chip whose links degrade.
 	DegradedLinkChip int
+	// SyncPlan binds synchronization classes (prefill vs decode, MHSA
+	// vs FFN, the replicated exchanges) to interconnect topologies,
+	// overriding HW.Topology per class — the per-sync collective plan.
+	// The zero value executes every synchronization on the run
+	// topology, byte-identical to the single-topology simulator. It
+	// rides in Options (a comparable value) so it reaches both the
+	// evalpool cache key and the simulator without extra plumbing; the
+	// pipeline strategy has no collective synchronizations and ignores
+	// it.
+	SyncPlan collective.Plan
 	// StragglerFactor, when positive, scales one chip's compute
 	// throughput (thermal throttling / process variation: 0.5 runs
 	// StragglerChip at half speed; 0 disables). Under the

@@ -12,6 +12,7 @@ package energy
 import (
 	"fmt"
 
+	"mcudist/internal/collective"
 	"mcudist/internal/hw"
 	"mcudist/internal/perfsim"
 )
@@ -62,6 +63,40 @@ func FromResult(p hw.Params, res *perfsim.Result) Report {
 		}
 	}
 	return rep
+}
+
+// ClassEnergy is the chip-to-chip link energy of one synchronization
+// class.
+type ClassEnergy struct {
+	Class collective.SyncClass
+	// Topology is the schedule shape the class executed.
+	Topology hw.Topology
+	// C2CJoules is the class's link energy, each byte billed at the
+	// pJ/B of the link class it crossed.
+	C2CJoules float64
+}
+
+// C2CByClass splits the C2C term of the analytical model per
+// synchronization class — the attribution a per-sync collective plan
+// is judged on. The classes sum to FromResult's C2C term for the
+// collective strategies (the pipeline's handoff chain belongs to no
+// synchronization and is excluded), up to float summation order.
+// Results without per-link counters fall back to the network's local
+// class for every byte, mirroring FromResult.
+func C2CByClass(p hw.Params, res *perfsim.Result) []ClassEnergy {
+	out := make([]ClassEnergy, 0, len(res.ByClass))
+	for _, cs := range res.ByClass {
+		e := ClassEnergy{Class: cs.Class, Topology: cs.Topology}
+		if len(cs.C2CSentBytesByLink) > 0 {
+			for i, b := range cs.C2CSentBytesByLink {
+				e.C2CJoules += float64(b) * res.LinkClasses[i].EnergyPJPerByte * pJ
+			}
+		} else {
+			e.C2CJoules = float64(cs.C2CSentBytes) * p.Network.Local.EnergyPJPerByte * pJ
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 // FromResultIdleAware evaluates the model with every chip powered for

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"mcudist/internal/collective"
 	"mcudist/internal/core"
 	"mcudist/internal/hw"
 	"mcudist/internal/model"
@@ -24,6 +25,7 @@ func TestPointStaysComparable(t *testing.T) {
 		reflect.TypeOf(hw.Params{}),
 		reflect.TypeOf(hw.Network{}),
 		reflect.TypeOf(hw.LinkClass{}),
+		reflect.TypeOf(collective.Plan{}),
 	} {
 		if !typ.Comparable() {
 			t.Errorf("%s is no longer comparable; the evalpool cache key is broken", typ)
@@ -79,6 +81,29 @@ func TestPointKeyBehaviour(t *testing.T) {
 		t.Fatalf("equal per-edge tables did not collide on one cache key (%d entries)", len(cache))
 	}
 
+	// The per-sync collective plan is a cache axis too: equal plans
+	// collide, a different binding misses.
+	planned := b
+	planned.System.Options.SyncPlan = collective.Plan{}.
+		With(collective.DecodeMHSA, hw.TopoRing).
+		With(collective.DecodeFFN, hw.TopoRing)
+	samePlan := b
+	samePlan.System.Options.SyncPlan = collective.Plan{}.
+		With(collective.DecodeMHSA, hw.TopoRing).
+		With(collective.DecodeFFN, hw.TopoRing)
+	cache[planned]++
+	cache[samePlan]++
+	if len(cache) != 5 || cache[planned] != 2 {
+		t.Fatalf("equal sync plans did not collide on one cache key (%d entries)", len(cache))
+	}
+	otherPlan := planned
+	otherPlan.System.Options.SyncPlan = collective.Plan{}.
+		With(collective.DecodeMHSA, hw.TopoRing)
+	cache[otherPlan]++
+	if len(cache) != 6 {
+		t.Fatal("sync plan change did not produce a distinct cache key")
+	}
+
 	// The live pool must dedupe the same way: same config twice is
 	// one simulation, a different topology is a second one.
 	p := New(1)
@@ -112,5 +137,22 @@ func TestPointKeyBehaviour(t *testing.T) {
 	}
 	if r4.Cycles == r1.Cycles {
 		t.Error("clustered and uniform reports coincide exactly; network likely ignored")
+	}
+	r5, err := p.Run(planned.System, planned.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5 == r1 {
+		t.Error("planned run served the uniform plan's cached report")
+	}
+	if r5.Cycles == r1.Cycles {
+		t.Error("planned and unplanned reports coincide exactly; sync plan likely ignored")
+	}
+	r6, err := p.Run(samePlan.System, samePlan.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r6 != r5 {
+		t.Error("value-equal sync plans returned distinct reports (cache miss)")
 	}
 }

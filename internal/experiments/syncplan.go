@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"mcudist/internal/collective"
+	"mcudist/internal/core"
+	"mcudist/internal/evalpool"
+	"mcudist/internal/hw"
+	"mcudist/internal/model"
+)
+
+// AblationSyncPlan pins the per-synchronization collective plan
+// against the uniform baselines over a generation-shaped operating
+// point: one prompt prefill plus one autoregressive decode step at
+// the paper's sequence lengths, summed — the two regimes a deployed
+// assistant alternates between, and the only workload where a single
+// run-wide topology must compromise. Each row is one plan at one chip
+// count, with cycles, chip-to-chip time, traffic, and energy summed
+// over the two phases.
+//
+// The shape of the result, pinned in TestAblationSyncPlan: at the
+// paper's 64-chip scaled point the prefill-on-ring/decode-on-tree
+// hybrid strictly beats BOTH uniform baselines — uniform ring drags
+// its 2(N-1) serialized setups through the small-payload decode,
+// uniform tree funnels the large prefill payloads through its root —
+// while at 8 chips the ring wins both phases and the hybrid's
+// decode-on-tree binding costs it the win. Per-sync planning pays
+// exactly where the phase regimes diverge.
+func AblationSyncPlan() ([]AblationRow, error) {
+	hybrid := collective.Plan{}.
+		With(collective.PrefillMHSA, hw.TopoRing).
+		With(collective.PrefillFFN, hw.TopoRing).
+		With(collective.DecodeMHSA, hw.TopoTree).
+		With(collective.DecodeFFN, hw.TopoTree)
+	scenarios := []struct {
+		cfg   model.Config
+		chips int
+	}{
+		{model.TinyLlama42M(), 8},
+		{model.TinyLlamaScaled64(), 64},
+	}
+	configs := []struct {
+		label string
+		topo  hw.Topology
+		plan  collective.Plan
+	}{
+		{"uniform-tree", hw.TopoTree, collective.Plan{}},
+		{"uniform-ring", hw.TopoRing, collective.Plan{}},
+		{"prefill-ring+decode-tree", hw.TopoTree, hybrid},
+	}
+
+	// Two evalpool points per row: the prefill and the decode phase.
+	var points []evalpool.Point
+	for _, sc := range scenarios {
+		for _, c := range configs {
+			sys := core.DefaultSystem(sc.chips)
+			sys.HW.Topology = c.topo
+			sys.Options.SyncPlan = c.plan
+			points = append(points,
+				evalpool.Point{System: sys, Workload: core.Workload{Model: sc.cfg, Mode: model.Prompt}},
+				evalpool.Point{System: sys, Workload: core.Workload{Model: sc.cfg, Mode: model.Autoregressive}})
+		}
+	}
+	reports, err := evalpool.Map(points)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]AblationRow, 0, len(points)/2)
+	for i := 0; i+1 < len(points); i += 2 {
+		pre, dec := reports[i], reports[i+1]
+		sc := scenarios[(i/2)/len(configs)]
+		c := configs[(i/2)%len(configs)]
+		rows = append(rows, AblationRow{
+			Label:     c.label,
+			Chips:     sc.chips,
+			Cycles:    pre.Cycles + dec.Cycles,
+			C2CCycles: pre.Breakdown.C2C + dec.Breakdown.C2C,
+			C2CBytes:  pre.C2CBytes + dec.C2CBytes,
+			EnergyMJ:  (pre.Energy.Total() + dec.Energy.Total()) * 1e3,
+		})
+	}
+	return rows, nil
+}

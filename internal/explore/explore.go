@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 
+	"mcudist/internal/collective"
 	"mcudist/internal/core"
 	"mcudist/internal/evalpool"
 	"mcudist/internal/hw"
@@ -201,12 +202,36 @@ func ParetoFront(points []Point) []Point {
 	return out
 }
 
+// ClassCycles is one synchronization class's share of a point's
+// chip-to-chip link time (summed across chips).
+type ClassCycles struct {
+	Class    collective.SyncClass
+	Topology hw.Topology
+	// C2CCycles is the class's link busy time.
+	C2CCycles float64
+}
+
+// classCycles extracts the per-sync C2C attribution of a report.
+func classCycles(rep *core.Report) []ClassCycles {
+	out := make([]ClassCycles, 0, len(rep.ByClass))
+	for _, cs := range rep.ByClass {
+		out = append(out, ClassCycles{Class: cs.Class, Topology: cs.Topology, C2CCycles: cs.C2CCycles})
+	}
+	return out
+}
+
 // TopologyPoint is one evaluated (topology, chip count) configuration
 // of a topology-aware design-space sweep.
 type TopologyPoint struct {
 	Topology hw.Topology
 	Chips    int
 	Report   *core.Report
+	// C2CCyclesByClass attributes the point's chip-to-chip link time
+	// to synchronization classes (prefill vs decode vs the replicated
+	// exchanges), so a per-sync plan's win over this point is
+	// attributable to the classes that produced it rather than only
+	// the total.
+	C2CCyclesByClass []ClassCycles
 	// Pareto marks latency/energy Pareto-optimal points within the
 	// explored topology × chip-count grid.
 	Pareto bool
@@ -236,6 +261,7 @@ func TopologyFrontier(base core.System, wl core.Workload, chips []int) ([]Topolo
 	}
 	for i, rep := range reports {
 		out[i].Report = rep
+		out[i].C2CCyclesByClass = classCycles(rep)
 	}
 	for i, p := range paretoMask(reports) {
 		out[i].Pareto = p
@@ -250,6 +276,9 @@ type NetworkPoint struct {
 	Network  hw.Network
 	Chips    int
 	Report   *core.Report
+	// C2CCyclesByClass attributes the point's chip-to-chip link time
+	// to synchronization classes, as on TopologyPoint.
+	C2CCyclesByClass []ClassCycles
 	// Pareto marks latency/energy Pareto-optimal points within the
 	// explored topology × network × chip-count grid.
 	Pareto bool
@@ -285,6 +314,7 @@ func NetworkFrontier(base core.System, wl core.Workload, chips []int, nets []hw.
 	}
 	for i, rep := range reports {
 		out[i].Report = rep
+		out[i].C2CCyclesByClass = classCycles(rep)
 	}
 	for i, p := range paretoMask(reports) {
 		out[i].Pareto = p

@@ -6,10 +6,15 @@
 //
 // Modeling conventions (matching the paper's stacked-bar accounting):
 // compute, L2↔L1 tile movement, and exposed L3 streaming serialize
-// within a phase. The collective plan comes from an
-// interconnect.Schedule — the simulator executes whatever hop lists
-// the selected topology lowered to, holding no structural knowledge of
-// its own. Every (from, to) chip pair used by a schedule is an
+// within a phase. Collective hops come from interconnect.Schedules —
+// the simulator executes whatever hop lists the selected topologies
+// lowered to, holding no structural knowledge of its own. Each
+// synchronization carries a collective.SyncClass (prefill vs decode,
+// MHSA vs FFN, the replicated exchanges), and a per-sync collective
+// plan (deploy.Options.SyncPlan) may bind classes to different
+// topologies: every bound shape is lowered once up front, and each
+// sync executes its own class's schedule, with the synchronization
+// count and link accounting split per class. Every (from, to) chip pair used by a schedule is an
 // independent full-duplex link (the Fig. 1 hub wiring generalized)
 // driven at its own edge's link class — bandwidth, setup, pJ/B —
 // resolved from the platform's network description, so mixed MIPI/SPI
@@ -23,6 +28,7 @@ package perfsim
 import (
 	"fmt"
 
+	"mcudist/internal/collective"
 	"mcudist/internal/deploy"
 	"mcudist/internal/eventsim"
 	"mcudist/internal/hw"
@@ -69,6 +75,29 @@ type Breakdown struct {
 // Total returns the summed breakdown, equal to the runtime.
 func (b Breakdown) Total() float64 { return b.Compute + b.L2L1 + b.L3 + b.C2C }
 
+// ClassStats aggregates the whole system's collective activity of one
+// synchronization class — the axis a per-sync collective plan is
+// chosen and judged on. C2CCycles is link busy time summed across
+// chips (the per-class share of the ChipStats.C2CCycles totals), not
+// the root-timeline chip-to-chip share of Breakdown.
+type ClassStats struct {
+	// Class is the synchronization class these counters cover.
+	Class collective.SyncClass
+	// Topology is the schedule shape the class's synchronizations
+	// executed: the plan's binding, or the run topology.
+	Topology hw.Topology
+	// Syncs counts the synchronizations of this class.
+	Syncs int
+	// C2CCycles / C2CSentBytes total the class's link activity across
+	// chips.
+	C2CCycles    float64
+	C2CSentBytes int64
+	// C2CSentBytesByLink splits the class's bytes per link class,
+	// indexed like Result.LinkClasses — what the energy model bills
+	// each edge's own pJ/B on.
+	C2CSentBytesByLink []int64
+}
+
 // Result is the outcome of one simulated forward pass.
 type Result struct {
 	TotalCycles float64
@@ -77,11 +106,19 @@ type Result struct {
 	// Syncs is the number of chip synchronizations executed (the
 	// paper's scheme: 2 per block).
 	Syncs int
-	// TreeDepth is the serialized hop depth of the reduce schedule
-	// (the tree's depth; 1 for star and fully-connected, N-1 for the
-	// ring).
+	// ByClass splits the synchronization and link accounting per
+	// synchronization class, in class order, covering only classes
+	// that executed at least once. Pipeline handoffs are point-to-point
+	// transfers outside any collective and appear in no class.
+	ByClass []ClassStats
+	// TreeDepth is the serialized hop depth of the RUN topology's
+	// reduce schedule (the tree's depth; 1 for star and
+	// fully-connected, N-1 for the ring). A per-sync plan's rebound
+	// classes execute their own schedules — see ByClass for the
+	// shapes that actually ran.
 	TreeDepth int
-	// Topology is the interconnect shape the run used.
+	// Topology is the run topology (HW.Topology); classes rebound by
+	// a per-sync plan report their own shape in ByClass.
 	Topology hw.Topology
 	// LinkClasses lists the distinct link classes the run's transfers
 	// crossed, in first-use order; the per-class counters in ChipStats
@@ -92,13 +129,38 @@ type Result struct {
 	TotalC2CBytes int64
 }
 
+// classNone marks link transfers outside any collective
+// synchronization (pipeline handoffs).
+const classNone = collective.SyncClass(-1)
+
+// classAccum accumulates one synchronization class's activity while
+// the simulation runs.
+type classAccum struct {
+	topology hw.Topology
+	syncs    int
+	cycles   float64
+	bytes    int64
+	// byLink is indexed like sim.classes (grown on demand, padded to
+	// the full axis at result assembly).
+	byLink []int64
+}
+
 type sim struct {
-	d       *deploy.Deployment
-	sched   *interconnect.Schedule
-	eng     *eventsim.Engine
-	cluster []*eventsim.Resource
-	dma     []*eventsim.Resource
-	io      []*eventsim.Resource
+	d *deploy.Deployment
+	// sched is the run topology's schedule; scheds additionally holds
+	// one lowered schedule per topology the collective plan binds, so
+	// each synchronization executes the schedule of its own class.
+	sched  *interconnect.Schedule
+	scheds map[hw.Topology]*interconnect.Schedule
+	// curClass is the synchronization class currently executing
+	// (classNone outside collectives), the axis hopOn attributes link
+	// activity to.
+	curClass collective.SyncClass
+	classAcc [collective.NumSyncClasses]classAccum
+	eng      *eventsim.Engine
+	cluster  []*eventsim.Resource
+	dma      []*eventsim.Resource
+	io       []*eventsim.Resource
 	// links holds one full-duplex resource per directed chip pair the
 	// schedule uses, created on demand.
 	links map[[2]int]*eventsim.Resource
@@ -174,6 +236,8 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 	s := &sim{
 		d:        d,
 		sched:    sched,
+		scheds:   map[hw.Topology]*interconnect.Schedule{sched.Topology: sched},
+		curClass: classNone,
 		eng:      eventsim.NewEngine(),
 		cluster:  make([]*eventsim.Resource, n),
 		dma:      make([]*eventsim.Resource, n),
@@ -189,6 +253,40 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 	// regardless of which hop executes first.
 	for _, c := range sched.Classes {
 		s.classIndex(c)
+	}
+	// Lower one schedule per topology the collective plan binds to a
+	// class this run executes, each resolved and validated against the
+	// network wiring up front — a plan routing an active class over an
+	// unwired edge fails here, before any simulation runs, while a
+	// merged prefill+decode plan never pays (or fails) for the other
+	// mode's bindings. The run topology's schedule is reused
+	// untouched, so the zero plan stays byte-identical to the
+	// single-topology simulator. The pipeline strategy executes no
+	// collectives and skips the lowering (its network may wire only
+	// the handoff chain).
+	if d.Plan.Strategy != partition.Pipeline {
+		for _, cl := range collective.ActiveClasses(d.Plan.Strategy, d.Mode) {
+			topo, bound := d.Options.SyncPlan.Explicit(cl)
+			if !bound {
+				continue
+			}
+			if _, ok := s.scheds[topo]; ok {
+				continue
+			}
+			hp := d.HW
+			hp.Topology = topo
+			alt, err := interconnect.NewSchedule(hp, n)
+			if err != nil {
+				return nil, fmt.Errorf("perfsim: collective plan: %w", err)
+			}
+			if err := alt.Validate(); err != nil {
+				return nil, fmt.Errorf("perfsim: collective plan: %w", err)
+			}
+			s.scheds[topo] = alt
+			for _, c := range alt.Classes {
+				s.classIndex(c)
+			}
+		}
 	}
 	for i := 0; i < n; i++ {
 		s.cluster[i] = eventsim.NewResource(s.eng, fmt.Sprintf("cluster%d", i))
@@ -239,6 +337,23 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 			s.stats[i].C2CCyclesByClass = append(s.stats[i].C2CCyclesByClass, 0)
 			s.stats[i].C2CSentBytesByClass = append(s.stats[i].C2CSentBytesByClass, 0)
 		}
+	}
+	for c := collective.SyncClass(0); c < collective.NumSyncClasses; c++ {
+		acc := s.classAcc[c]
+		if acc.syncs == 0 {
+			continue
+		}
+		for len(acc.byLink) < len(s.classes) {
+			acc.byLink = append(acc.byLink, 0)
+		}
+		res.ByClass = append(res.ByClass, ClassStats{
+			Class:              c,
+			Topology:           acc.topology,
+			Syncs:              acc.syncs,
+			C2CCycles:          acc.cycles,
+			C2CSentBytes:       acc.bytes,
+			C2CSentBytesByLink: acc.byLink,
+		})
 	}
 	if d.Plan.Strategy == partition.Pipeline {
 		// Stages run serially: the whole-system breakdown is the sum
@@ -394,6 +509,15 @@ func (s *sim) hopOn(link *eventsim.Resource, from, to int, ready float64, payloa
 	}
 	st.C2CCyclesByClass[id] += dur
 	st.C2CSentBytesByClass[id] += payload
+	if s.curClass != classNone {
+		acc := &s.classAcc[s.curClass]
+		acc.cycles += dur
+		acc.bytes += payload
+		for len(acc.byLink) <= id {
+			acc.byLink = append(acc.byLink, 0)
+		}
+		acc.byLink[id] += payload
+	}
 	if end > st.End {
 		st.End = end
 	}
@@ -420,12 +544,23 @@ func (s *sim) splitTiles(payload int64) []int64 {
 	return tiles
 }
 
+// schedFor resolves the schedule a synchronization class executes:
+// the collective plan's binding, or the run topology's schedule. Every
+// schedule a plan can select was lowered up front in RunTraced.
+func (s *sim) schedFor(class collective.SyncClass) *interconnect.Schedule {
+	if topo, ok := s.d.Options.SyncPlan.Explicit(class); ok {
+		return s.scheds[topo]
+	}
+	return s.sched
+}
+
 // sync performs one collective synchronization — reduce + root work +
-// broadcast — by executing the topology's hop schedule, pipelined over
-// payload tiles. ready[i] is when chip i's partial is available; the
-// returned slice is when each chip holds the broadcast result.
-// rootWork runs (tile- and share-proportionally) on the schedule's
-// finalizing chips between a tile's reduction and its broadcast.
+// broadcast — by executing the hop schedule its class is bound to,
+// pipelined over payload tiles. ready[i] is when chip i's partial is
+// available; the returned slice is when each chip holds the broadcast
+// result. rootWork runs (tile- and share-proportionally) on the
+// schedule's finalizing chips between a tile's reduction and its
+// broadcast.
 //
 // Readiness is tracked per (chip, chunk): partial[c][q] is when chip
 // c's accumulator for chunk q last settled, has[c][q] when chip c
@@ -433,10 +568,15 @@ func (s *sim) splitTiles(payload int64) []int64 {
 // single chunk, reducing to the original tree recursion; the ring's
 // 2(N-1)-step chunk rotation needs the extra axis so a chip's send of
 // one chunk never waits on its concurrent receive of another.
-func (s *sim) sync(ready []float64, reducePayload, bcastPayload int64, rootWork []kernels.Cost) []float64 {
+func (s *sim) sync(class collective.SyncClass, ready []float64, reducePayload, bcastPayload int64, rootWork []kernels.Cost) []float64 {
 	s.syncs++
 	n := s.d.Plan.Chips
-	sc := s.sched
+	sc := s.schedFor(class)
+	acc := &s.classAcc[class]
+	acc.topology = sc.Topology
+	acc.syncs++
+	s.curClass = class
+	defer func() { s.curClass = classNone }()
 
 	tiles := s.splitTiles(reducePayload)
 	nt := len(tiles)
@@ -514,6 +654,10 @@ func (s *sim) runTensorParallel() float64 {
 	blocks := s.d.Chips[0].Blocks
 	ready := make([]float64, n)
 
+	// The block's two synchronizations, classed by mode: [MHSA, FFN]
+	// in prefill or decode flavor.
+	cls := collective.ActiveClasses(partition.TensorParallel, s.d.Mode)
+
 	for b := 0; b < blocks; b++ {
 		blockStart := make([]float64, n)
 		copy(blockStart, ready)
@@ -530,14 +674,14 @@ func (s *sim) runTensorParallel() float64 {
 			spill := cd.ExposedMHSABytes - weightPartOf(cd, true)
 			phaseEnd[c] = s.phase(c, t, cd.MHSA, cd.ExposedMHSABytes, spill)
 		}
-		afterMHSA := s.sync(phaseEnd, s.d.ReducePayload, s.d.BcastPayload, s.d.RootSync)
+		afterMHSA := s.sync(cls[0], phaseEnd, s.d.ReducePayload, s.d.BcastPayload, s.d.RootSync)
 
 		for c := 0; c < n; c++ {
 			cd := &s.d.Chips[c]
 			spill := cd.ExposedFCBytes - weightPartOf(cd, false)
 			phaseEnd[c] = s.phase(c, afterMHSA[c], cd.FC, cd.ExposedFCBytes, spill)
 		}
-		ready = s.sync(phaseEnd, s.d.ReducePayload, s.d.BcastPayload, s.d.RootSync)
+		ready = s.sync(cls[1], phaseEnd, s.d.ReducePayload, s.d.BcastPayload, s.d.RootSync)
 
 		// Double-buffered prefetch of the next block's weights:
 		// energy always, runtime only under the exposure ablation.
@@ -615,8 +759,8 @@ func (s *sim) runReplicated() float64 {
 		if active > 1 {
 			// Two synchronizations per block: K/V exchange before
 			// attention and output exchange after the block.
-			mid := s.sync(phaseEnd, kvPayload, kvPayload, nil)
-			ready = s.sync(mid, outPayload, outPayload, nil)
+			mid := s.sync(collective.KVExchange, phaseEnd, kvPayload, kvPayload, nil)
+			ready = s.sync(collective.OutputExchange, mid, outPayload, outPayload, nil)
 		} else {
 			ready = phaseEnd
 		}

@@ -19,6 +19,7 @@
 package mcudist
 
 import (
+	"mcudist/internal/collective"
 	"mcudist/internal/core"
 	"mcudist/internal/deploy"
 	"mcudist/internal/evalpool"
@@ -27,6 +28,7 @@ import (
 	"mcudist/internal/model"
 	"mcudist/internal/numeric"
 	"mcudist/internal/partition"
+	"mcudist/internal/perfsim"
 	"mcudist/internal/tensor"
 )
 
@@ -59,6 +61,21 @@ type (
 	NetworkProfile = hw.NetworkProfile
 	// Edge is one directed chip pair of a per-edge link table.
 	Edge = hw.Edge
+	// SyncClass classifies one chip synchronization (prefill vs
+	// decode, MHSA vs FFN, the replicated exchanges).
+	SyncClass = collective.SyncClass
+	// SyncPlan binds synchronization classes to interconnect
+	// topologies (System.Options.SyncPlan); the zero value executes
+	// every synchronization on the run topology. (The root name Plan
+	// is the partition plan.)
+	SyncPlan = collective.Plan
+	// SyncClassStats is one class's share of a report's
+	// synchronization and link accounting (Report.ByClass).
+	SyncClassStats = perfsim.ClassStats
+	// AutotuneResult is the outcome of a per-sync plan autotuning.
+	AutotuneResult = explore.AutotuneResult
+	// ClassChoice is one per-class decision of an autotuned plan.
+	ClassChoice = explore.ClassChoice
 )
 
 // Model description API.
@@ -124,6 +141,28 @@ const (
 	TopologyRing = hw.TopoRing
 	// TopologyFullyConnected is the all-to-all pairwise exchange.
 	TopologyFullyConnected = hw.TopoFullyConnected
+)
+
+// Synchronization classes (the per-sync collective plan axis).
+const (
+	// SyncPrefillMHSA is the post-attention all-reduce of a
+	// prompt-mode block.
+	SyncPrefillMHSA = collective.PrefillMHSA
+	// SyncPrefillFFN is the post-FFN all-reduce of a prompt-mode
+	// block.
+	SyncPrefillFFN = collective.PrefillFFN
+	// SyncDecodeMHSA is the post-attention all-reduce of an
+	// autoregressive step.
+	SyncDecodeMHSA = collective.DecodeMHSA
+	// SyncDecodeFFN is the post-FFN all-reduce of an autoregressive
+	// step.
+	SyncDecodeFFN = collective.DecodeFFN
+	// SyncKVExchange is the replicated baseline's K/V context
+	// exchange.
+	SyncKVExchange = collective.KVExchange
+	// SyncOutputExchange is the replicated baseline's output row
+	// exchange.
+	SyncOutputExchange = collective.OutputExchange
 )
 
 // Network profiles.
@@ -267,6 +306,28 @@ func BestTopology(base System, wl Workload) (Topology, *Report, error) {
 // the union.
 func TopologyFrontier(base System, wl Workload, chips []int) ([]TopologyPoint, error) {
 	return explore.TopologyFrontier(base, wl, chips)
+}
+
+// SyncClasses returns every synchronization class, in enum order —
+// the axis a per-sync collective plan binds topologies on.
+func SyncClasses() []SyncClass { return collective.Classes() }
+
+// ParsePlan parses the command-line plan syntax, e.g.
+// "prefill=ring,decode=tree" (group spellings prefill / decode / all
+// next to the six exact class names; topologies in every spelling
+// ParseTopology accepts). The empty string is the zero plan.
+func ParsePlan(s string) (SyncPlan, error) { return collective.ParsePlan(s) }
+
+// UniformPlan binds every synchronization class to one topology —
+// behaviorally identical to selecting it as System.HW.Topology.
+func UniformPlan(t Topology) SyncPlan { return collective.Uniform(t) }
+
+// AutotunePlan exhaustively enumerates topologies over the
+// synchronization classes the workload executes and returns the
+// winning per-sync plan with its margin over the best uniform
+// topology. Set the result on System.Options.SyncPlan to run it.
+func AutotunePlan(base System, wl Workload) (*AutotuneResult, error) {
+	return explore.AutotunePlan(base, wl)
 }
 
 // MIPI returns the paper's chip-to-chip link class: 0.5 GB/s, 256

@@ -139,3 +139,44 @@ func TestFacadeGQAPreset(t *testing.T) {
 		t.Fatal("4 chips on 3 KV heads accepted")
 	}
 }
+
+func TestFacadeSyncPlan(t *testing.T) {
+	plan, err := ParsePlan("prefill=ring,decode=tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.String(); got != "prefill=ring,decode=tree" {
+		t.Fatalf("plan prints %q", got)
+	}
+	if len(SyncClasses()) != 6 {
+		t.Fatalf("%d sync classes", len(SyncClasses()))
+	}
+	if topo, ok := UniformPlan(TopologyRing).Explicit(SyncDecodeFFN); !ok || topo != TopologyRing {
+		t.Fatal("uniform plan does not bind every class")
+	}
+
+	sys := DefaultSystem(8)
+	sys.Options.SyncPlan = plan
+	wl := Workload{Model: TinyLlama42M(), Mode: Prompt}
+	rep, err := Run(sys, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ByClass) != 2 || rep.ByClass[0].Class != SyncPrefillMHSA {
+		t.Fatalf("report classes = %v", rep.ByClass)
+	}
+	if rep.ByClass[0].Topology != TopologyRing {
+		t.Fatalf("prefill ran on %s, want ring", rep.ByClass[0].Topology)
+	}
+	if len(rep.C2CEnergyByClass) != 2 {
+		t.Fatal("per-class energy split missing")
+	}
+
+	res, err := AutotunePlan(DefaultSystem(8), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Margin < 1 || len(res.PerClass) != 2 {
+		t.Fatalf("autotune margin %g, %d classes", res.Margin, len(res.PerClass))
+	}
+}

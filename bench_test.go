@@ -16,6 +16,8 @@ import (
 	"mcudist/internal/evalpool"
 	"mcudist/internal/experiments"
 	"mcudist/internal/explore"
+	"mcudist/internal/hw"
+	"mcudist/internal/interconnect"
 	"mcudist/internal/model"
 )
 
@@ -407,6 +409,66 @@ func BenchmarkAutotunePlan(b *testing.B) {
 	b.ReportMetric(pre.Margin, "prompt_margin")
 	b.ReportMetric(dec.Margin, "decode_margin")
 	b.ReportMetric(float64(len(pre.PerClass)+len(dec.PerClass)), "classes_tuned")
+}
+
+// BenchmarkAutotuneSession measures the joint prefill+decode plan
+// autotuner — per-class cost probes, additive prediction over the
+// 256-candidate joint grid, exact verification of the predicted
+// top-K — at the 64-chip scaled operating point, with a cold report
+// cache each iteration. The sims_saved_x metric is the grid's
+// exact-simulation bill over what the pruned search actually ran
+// (>= 5x is pinned by TestAutotuneSessionPinned64).
+func BenchmarkAutotuneSession(b *testing.B) {
+	sys := core.DefaultSystem(64)
+	cfg := model.TinyLlamaScaled64()
+	var res *explore.SessionResult
+	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
+		r, err := explore.AutotuneSession(sys, cfg, explore.SessionOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Margin, "session_margin")
+	b.ReportMetric(res.RankAccuracy, "rank_accuracy")
+	b.ReportMetric(float64(res.ExactSims), "exact_sims")
+	b.ReportMetric(float64(res.GridSims), "grid_sims")
+	b.ReportMetric(float64(res.GridSims)/float64(res.ExactSims), "sims_saved_x")
+}
+
+// BenchmarkScheduleIntern compares a fresh schedule lowering against
+// the intern-cache hit path that perfsim now rides — the 64-chip ring
+// on the clustered network, the heaviest stock lowering (4032 reduce
+// hops resolved per edge, plus validation).
+func BenchmarkScheduleIntern(b *testing.B) {
+	p := hw.Siracusa()
+	p.Topology = hw.TopoRing
+	p.Network = hw.ClusteredNetwork(hw.MIPI(), hw.MIPI().Slower(10), 4)
+	b.Run("lower", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := interconnect.NewSchedule(p, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Validate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("interned", func(b *testing.B) {
+		if _, err := interconnect.CachedSchedule(p, 64); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := interconnect.CachedSchedule(p, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationStraggler measures the cost of one throttled chip.

@@ -9,6 +9,15 @@
 //
 // The CI workflow runs exactly that pipeline and uploads the file as
 // a build artifact, giving every PR a comparable perf record.
+//
+// When the output path already holds a previous record (the committed
+// baseline in CI), benchjson compares benchmark names against it and
+// exits non-zero if any previously recorded benchmark is missing from
+// the new run — a deleted or silently-skipped benchmark must fail the
+// pipeline, not shrink the record unnoticed. The new record is still
+// written first, so the diff is inspectable. -prev overrides the
+// baseline path; -allow-missing downgrades the failure to a warning
+// (for intentional removals).
 package main
 
 import (
@@ -103,8 +112,46 @@ func parse(r io.Reader) (*Record, error) {
 	return rec, nil
 }
 
+// missingBenchmarks returns the names recorded in prev that are absent
+// from cur, in prev's order — the benchmarks a new run silently
+// dropped.
+func missingBenchmarks(prev, cur *Record) []string {
+	have := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		have[b.Name] = true
+	}
+	var missing []string
+	for _, b := range prev.Benchmarks {
+		if !have[b.Name] {
+			missing = append(missing, b.Name)
+		}
+	}
+	return missing
+}
+
+// loadRecord reads a previous benchmark record; a missing file returns
+// (nil, nil) — the first run has no baseline — while an unreadable or
+// unparsable one is an error (a corrupt baseline must not silently
+// disable the disappearance check).
+func loadRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	rec := &Record{}
+	if err := json.Unmarshal(data, rec); err != nil {
+		return nil, fmt.Errorf("previous record %s: %w", path, err)
+	}
+	return rec, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_sweep.json", "output path (- for stdout)")
+	prev := flag.String("prev", "", "previous record to compare benchmark names against (default: the -o path's existing content)")
+	allowMissing := flag.Bool("allow-missing", false, "warn instead of failing when previously recorded benchmarks disappear")
 	flag.Parse()
 
 	rec, err := parse(os.Stdin)
@@ -115,6 +162,19 @@ func main() {
 	if len(rec.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	// Load the baseline before the write below overwrites it.
+	prevPath := *prev
+	if prevPath == "" && *out != "-" {
+		prevPath = *out
+	}
+	var prevRec *Record
+	if prevPath != "" {
+		prevRec, err = loadRecord(prevPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -132,4 +192,13 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
+	if prevRec != nil {
+		if missing := missingBenchmarks(prevRec, rec); len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) recorded in %s disappeared from this run: %s\n",
+				len(missing), prevPath, strings.Join(missing, ", "))
+			if !*allowMissing {
+				os.Exit(1)
+			}
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -59,5 +60,61 @@ func TestParseEmpty(t *testing.T) {
 	}
 	if len(rec.Benchmarks) != 0 {
 		t.Fatalf("parsed %d benchmarks from non-bench output", len(rec.Benchmarks))
+	}
+}
+
+// A benchmark present in the previous record but absent from the new
+// run must be detected — silent benchmark drops fail the pipeline.
+func TestMissingBenchmarks(t *testing.T) {
+	bench := func(names ...string) *Record {
+		r := &Record{}
+		for _, n := range names {
+			r.Benchmarks = append(r.Benchmarks, Benchmark{Name: n})
+		}
+		return r
+	}
+	prev := bench("BenchmarkA", "BenchmarkB", "BenchmarkC")
+
+	if m := missingBenchmarks(prev, bench("BenchmarkA", "BenchmarkB", "BenchmarkC")); len(m) != 0 {
+		t.Errorf("identical runs reported missing: %v", m)
+	}
+	// New benchmarks are fine; only disappearances count.
+	if m := missingBenchmarks(prev, bench("BenchmarkA", "BenchmarkB", "BenchmarkC", "BenchmarkD")); len(m) != 0 {
+		t.Errorf("added benchmark reported missing: %v", m)
+	}
+	m := missingBenchmarks(prev, bench("BenchmarkA", "BenchmarkC"))
+	if len(m) != 1 || m[0] != "BenchmarkB" {
+		t.Errorf("missing = %v, want [BenchmarkB]", m)
+	}
+	m = missingBenchmarks(prev, bench("BenchmarkD"))
+	if len(m) != 3 || m[0] != "BenchmarkA" || m[2] != "BenchmarkC" {
+		t.Errorf("missing = %v, want all three in prev order", m)
+	}
+}
+
+// loadRecord: absent baseline is not an error (first run), corrupt
+// baseline is (it must not silently disable the check).
+func TestLoadRecord(t *testing.T) {
+	dir := t.TempDir()
+	if rec, err := loadRecord(dir + "/nope.json"); rec != nil || err != nil {
+		t.Errorf("missing file: rec=%v err=%v, want nil/nil", rec, err)
+	}
+	bad := dir + "/bad.json"
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadRecord(bad); err == nil {
+		t.Error("corrupt baseline loaded without error")
+	}
+	good := dir + "/good.json"
+	if err := os.WriteFile(good, []byte(`{"benchmarks":[{"name":"BenchmarkA","iterations":1,"metrics":{}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := loadRecord(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 1 || rec.Benchmarks[0].Name != "BenchmarkA" {
+		t.Errorf("loaded %+v", rec.Benchmarks)
 	}
 }

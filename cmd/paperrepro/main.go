@@ -30,7 +30,7 @@ type step struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations topology network syncplan extensions")
+	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations topology network syncplan session extensions")
 	workers := flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 	cluster := flag.Int("cluster", 4, "network ablation: chips per fast local cluster")
 	backhaul := flag.Float64("backhaul", 10, "network ablation: inter-cluster bandwidth slowdown vs MIPI")
@@ -51,6 +51,7 @@ func main() {
 		{"topology", topology},
 		{"network", network(*cluster, *backhaul)},
 		{"syncplan", syncplan},
+		{"session", session},
 		{"extensions", extensions},
 	}
 	ran := 0
@@ -222,6 +223,24 @@ func network(cluster int, backhaul float64) func() error {
 func syncplan() error {
 	return ablationTable("per-sync collective plans (one prefill + one decode step)",
 		experiments.AblationSyncPlan)
+}
+
+// session renders the joint-session autotuning study: the winning
+// prefill+decode plan per (chip count, network profile), its margin
+// over the best uniform session, and the predict-then-verify search's
+// exact-simulation bill against the naive joint grid.
+func session() error {
+	rows, err := experiments.SessionAutotune()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Joint-session autotuning (predict-then-verify over the class x topology grid)",
+		"chips", "network", "plan", "cycles", "best_uniform", "margin", "rank_acc", "exact_sims", "grid_sims")
+	for _, r := range rows {
+		t.AddRow(r.Chips, r.Network, r.Plan, r.Cycles, r.BestUniform, r.Margin,
+			r.RankAccuracy, r.ExactSims, r.GridSims)
+	}
+	return t.Render(os.Stdout)
 }
 
 func extensions() error {

@@ -11,6 +11,9 @@
 //	      -network clustered -cluster 4 -backhaul 10
 //	sweep -model scaled -mode prompt -chips 64 -plan prefill=ring,decode=tree
 //	sweep -model scaled -mode prompt -chips 16,64 -autotune
+//	sweep -model scaled -chips 8,64 -autotune-session
+//	sweep -model scaled -chips 64 -autotune-session -topk 16 \
+//	      -network clustered -cluster 4 -backhaul 10
 package main
 
 import (
@@ -41,6 +44,8 @@ func main() {
 		cluster   = flag.Int("cluster", 4, "clustered profile: chips per fast local cluster")
 		planSpec  = flag.String("plan", "", "per-sync collective plan, e.g. prefill=ring,decode=tree (empty = uniform -topology)")
 		autotune  = flag.Bool("autotune", false, "autotune the per-sync plan at each chip count and report it against the best uniform topology")
+		session   = flag.Bool("autotune-session", false, "autotune prefill+decode jointly at each chip count (predict-then-verify over the full class x topology grid; -mode is ignored, -seqlen sets the prompt length)")
+		topK      = flag.Int("topk", 0, "session autotuning: predicted-best candidates to verify exactly (0 = default)")
 		workers   = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -60,6 +65,9 @@ func main() {
 	}
 	if *autotune && !plan.IsZero() {
 		fatal(fmt.Errorf("choose -plan or -autotune, not both"))
+	}
+	if *session && (*autotune || !plan.IsZero()) {
+		fatal(fmt.Errorf("choose -autotune-session or -plan/-autotune, not both"))
 	}
 
 	var cfg model.Config
@@ -88,6 +96,10 @@ func main() {
 	}
 
 	wl := core.Workload{Model: cfg, Mode: mode, SeqLen: *seqLen}
+	if *session {
+		sessionSweep(topo, network, cfg, *seqLen, *topK, chips)
+		return
+	}
 	if *autotune {
 		autotuneSweep(topo, network, wl, chips)
 		return
@@ -134,6 +146,32 @@ func autotuneSweep(topo hw.Topology, network hw.Network, wl core.Workload, chips
 		t.AddRow(n, strings.ReplaceAll(res.Plan.String(), ",", "+"),
 			res.Report.Cycles, res.Report.Seconds*1e3,
 			res.BestUniform.String(), res.UniformReport.Cycles, res.Margin)
+	}
+	if err := t.CSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// sessionSweep emits one CSV row per chip count: the jointly autotuned
+// prefill+decode plan, its exact and predicted session cost, the best
+// uniform session it beats, and the predict-then-verify search's
+// exact-simulation bill against the naive joint grid. The plan column
+// uses the "+"-joined spelling and pastes straight back into -plan.
+func sessionSweep(topo hw.Topology, network hw.Network, cfg model.Config, seqLen, topK int, chips []int) {
+	t := report.NewTable("", "chips", "plan", "cycles", "predicted_cycles",
+		"best_uniform", "uniform_cycles", "margin", "rank_acc", "exact_sims", "grid_sims")
+	for _, n := range chips {
+		sys := core.DefaultSystem(n)
+		sys.HW.Topology = topo
+		sys.HW.Network = network
+		res, err := explore.AutotuneSession(sys, cfg, explore.SessionOptions{TopK: topK, PromptSeqLen: seqLen})
+		if err != nil {
+			fatal(fmt.Errorf("%d chips: %w", n, err))
+		}
+		t.AddRow(n, strings.ReplaceAll(res.Plan.String(), ",", "+"),
+			res.Cycles, res.PredictedCycles,
+			res.BestUniform.String(), res.UniformCycles, res.Margin,
+			res.RankAccuracy, res.ExactSims, res.GridSims)
 	}
 	if err := t.CSV(os.Stdout); err != nil {
 		fatal(err)

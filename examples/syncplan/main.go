@@ -1,10 +1,18 @@
-// Per-sync collective plans: no single interconnect shape wins both
-// inference regimes — the ring's payload/N chunks take the
-// large-payload prompt prefill while the tree's few serialized setups
-// keep the small-payload decode at scale. This example autotunes a
-// plan per synchronization class, prints the per-class winner table,
-// and compares the merged prefill+decode plan against the best
-// run-wide topology on a full generation step.
+// Per-sync collective plans, tuned for the whole generation session:
+// no single interconnect shape wins both inference regimes — the
+// ring's payload/N chunks take the large-payload prompt prefill while
+// the tree's few serialized setups keep the small-payload decode at
+// scale — so the session autotuner picks a topology per
+// synchronization class, jointly across prefill and decode.
+//
+// The joint class × topology grid is 4^4 = 256 candidate plans (512
+// exact simulations if enumerated naively), so AutotuneSession builds
+// a per-class cost model from a handful of probe simulations, predicts
+// every candidate's session cost additively, and verifies only the
+// predicted best candidates exactly — the winner is always chosen on
+// exact cycles. This example prints the per-class winner table, the
+// predictor-vs-exact margin table for the verified candidates, and
+// the session win over the best uniform topology.
 //
 // Two operating points: the paper's 64-chip scaled TinyLlama, where
 // the regimes diverge and the hybrid wins, and SmolLM-135M at its
@@ -29,60 +37,27 @@ func main() {
 
 func autotunePoint(name string, cfg mcudist.Config, chips int) {
 	sys := mcudist.DefaultSystem(chips)
-	prompt := mcudist.Workload{Model: cfg, Mode: mcudist.Prompt}
-	decode := mcudist.Workload{Model: cfg, Mode: mcudist.Autoregressive}
-
-	pre, err := mcudist.AutotunePlan(sys, prompt)
-	if err != nil {
-		log.Fatal(err)
-	}
-	dec, err := mcudist.AutotunePlan(sys, decode)
+	res, err := mcudist.AutotuneSession(sys, cfg, mcudist.SessionOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%s on %d chips — per-class winners\n", name, chips)
+	fmt.Printf("%s on %d chips — joint session autotune (%d-candidate grid, %d exact sims vs %d exhaustive)\n",
+		name, chips, res.Candidates, res.ExactSims, res.GridSims)
 	fmt.Printf("  %-14s %s\n", "sync class", "topology")
-	for _, res := range []*mcudist.AutotuneResult{pre, dec} {
-		for _, cc := range res.PerClass {
-			fmt.Printf("  %-14s %s\n", cc.Class, cc.Topology)
-		}
-		// The margin is a property of the whole (per-mode) plan, not
-		// of any single class.
-		fmt.Printf("  → plan margin %.3fx vs best uniform (%s)\n", res.Margin, res.BestUniform)
+	for _, cc := range res.PerClass {
+		fmt.Printf("  %-14s %s\n", cc.Class, cc.Topology)
 	}
 
-	merged, err := pre.Plan.Merge(dec.Plan)
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("  predictor vs exact (verified candidates, rank accuracy %.2f):\n", res.RankAccuracy)
+	fmt.Printf("    %-44s %14s %14s %8s\n", "plan", "predicted", "exact", "error")
+	for _, v := range res.Verified {
+		fmt.Printf("    %-44s %14.0f %14.0f %7.2f%%\n",
+			v.Plan, v.PredictedCycles, v.Cycles, 100*(v.PredictedCycles-v.Cycles)/v.Cycles)
 	}
-	fmt.Printf("  merged plan: %s\n", merged)
 
 	// One full generation step — a prompt prefill plus a decode step —
-	// under the merged plan against the best run-wide topology.
-	session := func(sys mcudist.System) float64 {
-		p, err := mcudist.Run(sys, prompt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		d, err := mcudist.Run(sys, decode)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return p.Cycles + d.Cycles
-	}
-	planned := sys
-	planned.Options.SyncPlan = merged
-	plannedCycles := session(planned)
-
-	bestUniform, bestCycles := mcudist.TopologyTree, 0.0
-	for _, topo := range mcudist.Topologies() {
-		uni := sys
-		uni.HW.Topology = topo
-		if c := session(uni); bestCycles == 0 || c < bestCycles {
-			bestUniform, bestCycles = topo, c
-		}
-	}
-	fmt.Printf("  prefill+decode: %.0f cycles planned vs %.0f on uniform %s (%.3fx)\n\n",
-		plannedCycles, bestCycles, bestUniform, bestCycles/plannedCycles)
+	// under the winning plan against the best run-wide topology.
+	fmt.Printf("  prefill+decode: %.0f cycles planned (%s) vs %.0f on uniform %s (%.3fx)\n\n",
+		res.Cycles, res.Plan, res.UniformCycles, res.BestUniform, res.Margin)
 }

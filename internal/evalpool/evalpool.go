@@ -42,6 +42,11 @@ type Point struct {
 type Pool struct {
 	workers int
 
+	// sims counts cache-miss evaluations (core.Run invocations) over
+	// the pool's lifetime; it survives Reset so callers can meter the
+	// exact-simulation cost of a search by delta.
+	sims atomic.Uint64
+
 	mu    sync.Mutex
 	cache map[Point]*cacheEntry
 }
@@ -87,9 +92,20 @@ func (p *Pool) Run(sys core.System, wl core.Workload) (*core.Report, error) {
 		p.cache[key] = e
 	}
 	p.mu.Unlock()
-	e.once.Do(func() { e.rep, e.err = core.Run(sys, wl) })
+	e.once.Do(func() {
+		p.sims.Add(1)
+		e.rep, e.err = core.Run(sys, wl)
+	})
 	return e.rep, e.err
 }
+
+// Simulations returns the number of cache-miss evaluations — actual
+// core.Run invocations — the pool has executed since construction.
+// Cache hits leave it unchanged, and Reset does not rewind it, so the
+// exact-simulation cost of a search is the counter's delta around it
+// (process-wide on the default pool: concurrent unrelated work is
+// counted too).
+func (p *Pool) Simulations() uint64 { return p.sims.Load() }
 
 // Map evaluates every point on the worker pool and returns reports in
 // input order. On failure it returns the error of the lowest failing
@@ -178,6 +194,11 @@ func Default() *Pool {
 // valve for long-lived processes sweeping unbounded configuration
 // spaces (the cache has no eviction of its own).
 func ResetCache() { Default().Reset() }
+
+// Simulations returns the default pool's cache-miss evaluation count
+// (see Pool.Simulations). SetWorkers replaces the pool and therefore
+// restarts the counter.
+func Simulations() uint64 { return Default().Simulations() }
 
 // Run evaluates one point on the default pool's cache.
 func Run(sys core.System, wl core.Workload) (*core.Report, error) {

@@ -200,3 +200,36 @@ func TestDefaultPoolAndSetWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSimulationsCounter pins that the counter meters cache misses
+// only: hits and Reset leave past counts in place, so search code can
+// measure its exact-simulation cost by delta.
+func TestSimulationsCounter(t *testing.T) {
+	p := New(2)
+	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}
+	if got := p.Simulations(); got != 0 {
+		t.Fatalf("fresh pool reports %d simulations", got)
+	}
+	if _, err := p.Eval(core.DefaultSystem(1), wl, []int{1, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Simulations(); got != 3 {
+		t.Errorf("three distinct points simulated %d times", got)
+	}
+	// Repeats are hits.
+	if _, err := p.Eval(core.DefaultSystem(1), wl, []int{1, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Simulations(); got != 3 {
+		t.Errorf("cache hits moved the counter to %d", got)
+	}
+	// Reset drops the cache but not the history: the same points
+	// simulate again and the counter keeps accumulating.
+	p.Reset()
+	if _, err := p.Eval(core.DefaultSystem(1), wl, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Simulations(); got != 5 {
+		t.Errorf("post-Reset re-evaluation left the counter at %d, want 5", got)
+	}
+}

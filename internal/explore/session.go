@@ -1,0 +1,639 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"mcudist/internal/collective"
+	"mcudist/internal/core"
+	"mcudist/internal/evalpool"
+	"mcudist/internal/hw"
+	"mcudist/internal/model"
+)
+
+// This file autotunes a whole generation session — one prompt prefill
+// plus one autoregressive decode step — jointly over the full
+// class × topology grid. The joint grid is topologies^|classes|
+// candidates (256 for the tensor-parallel scheme's four session
+// classes), and evaluating each candidate as deployed costs two
+// simulations, so exhaustive enumeration runs ~2·4^4 exact simulations
+// per operating point — and multiplies again under a network-profile
+// axis. AutotuneSession makes that tractable with a predict-then-verify
+// structure: a per-class cost decomposition built from one probe
+// simulation per (class, topology) predicts every candidate's session
+// cost additively in microseconds, and only the predicted top-K
+// candidates (plus the four uniform sessions, which the margin needs
+// anyway) are verified with exact simulations. The exact simulator
+// stays the ground truth: the winner is always chosen on verified
+// cycles, never on predictions.
+
+// DefaultSessionTopK is the number of predicted-best candidates
+// AutotuneSession verifies exactly when SessionOptions.TopK is zero.
+const DefaultSessionTopK = 8
+
+// SessionOptions tunes AutotuneSession.
+type SessionOptions struct {
+	// TopK is the number of predicted-best joint candidates to verify
+	// with exact simulations (the pruning knob; 0 selects
+	// DefaultSessionTopK). The four uniform sessions are always
+	// verified in addition — the margin baseline needs them — so the
+	// winner can never lose to a uniform plan.
+	TopK int
+	// Exhaustive disables the predictor and evaluates every joint
+	// candidate exactly, as deployed (the merged plan rides in both
+	// phases' cache keys). This is the ground-truth reference the
+	// equivalence tests hold the pruned search to; it costs
+	// 2·topologies^|classes| simulations.
+	Exhaustive bool
+	// PromptSeqLen / DecodeSeqLen override the two phases' sequence
+	// lengths (0 selects the paper's value for the model and mode,
+	// matching the PR 4 session ablation).
+	PromptSeqLen int
+	DecodeSeqLen int
+}
+
+// SessionCandidate is one exactly-verified joint candidate: its plan,
+// the predictor's estimate, and the exact session cycles.
+type SessionCandidate struct {
+	Plan            collective.Plan
+	PredictedCycles float64
+	Cycles          float64
+}
+
+// ClassCost is one entry of the predictor's per-class cost vector: the
+// measured session-cycle delta of binding Class to Topology instead of
+// the reference topology, with every other class held at the
+// reference — one probe simulation per entry, composable additively
+// across classes and phases.
+type ClassCost struct {
+	// Mode is the phase the probe ran in (the class's own phase for
+	// the tensor-parallel classes; the replicated exchanges execute in
+	// both phases and get one entry per phase).
+	Mode model.Mode
+	// Class and Topology name the binding the probe measured.
+	Class    collective.SyncClass
+	Topology hw.Topology
+	// DeltaCycles is probe cycles minus the all-reference baseline's
+	// cycles for the phase (0 for the reference topology itself).
+	DeltaCycles float64
+	// C2CCycles is the class's link busy time in the probe — the
+	// ByClass attribution the decomposition rests on.
+	C2CCycles float64
+}
+
+// SessionResult is the outcome of a joint prefill+decode plan
+// autotuning.
+type SessionResult struct {
+	// Plan binds every session synchronization class — the prefill and
+	// decode classes jointly — to its winning topology.
+	Plan collective.Plan
+	// Cycles is the winner's exact session cost (prefill + one decode
+	// step); PredictedCycles is what the predictor estimated for it
+	// before verification (equal to Cycles under Exhaustive).
+	Cycles          float64
+	PredictedCycles float64
+	// PrefillReport / DecodeReport are the winner's two exact
+	// evaluations.
+	PrefillReport *core.Report
+	DecodeReport  *core.Report
+	// PerClass lists the winning choice per session class, in class
+	// order.
+	PerClass []ClassChoice
+	// BestUniform is the best single-topology session — the baseline a
+	// joint plan has to beat — with its session cycles and the win
+	// margin UniformCycles / Cycles (>= 1; 1 means a uniform plan is
+	// optimal).
+	BestUniform   hw.Topology
+	UniformCycles float64
+	Margin        float64
+	// RankAccuracy is the predictor's pairwise ordering concordance
+	// over the verified candidates: the fraction of verified pairs the
+	// predicted ranking ordered consistently with exact cycles (1 under
+	// Exhaustive, where no prediction happens).
+	RankAccuracy float64
+	// Candidates is the size of the joint class × topology grid;
+	// GridSims = 2 × Candidates is the exact-simulation bill of
+	// enumerating it exhaustively; ExactSims is the number of
+	// simulations this call actually ran (measured as the evalpool
+	// cache-miss delta, so points already memoized — shared probes,
+	// repeated calls — are not double-billed).
+	Candidates int
+	GridSims   int
+	ExactSims  int
+	// Verified lists the exactly-checked candidates in predicted order
+	// (empty under Exhaustive) — the predictor-vs-exact margin table.
+	Verified []SessionCandidate
+	// Costs is the predictor's per-class cost vector (empty under
+	// Exhaustive).
+	Costs []ClassCost
+	// Network is the network description the session was tuned for.
+	Network hw.Network
+}
+
+// sessionMode is one phase of the session: its workload and the
+// synchronization classes it executes.
+type sessionMode struct {
+	wl      core.Workload
+	classes []collective.SyncClass
+}
+
+// sessionModes resolves the two phases and the ordered union of their
+// active classes (the joint plan's axis). The tensor-parallel phases
+// contribute disjoint classes; the replicated exchanges execute in
+// both phases and appear once.
+func sessionModes(base core.System, cfg model.Config, opts SessionOptions) ([]sessionMode, []collective.SyncClass, error) {
+	pre := collective.ActiveClasses(base.Strategy, model.Prompt)
+	dec := collective.ActiveClasses(base.Strategy, model.Autoregressive)
+	if len(pre) == 0 || len(dec) == 0 {
+		return nil, nil, fmt.Errorf("explore: the %s strategy executes no collective synchronizations to plan", base.Strategy)
+	}
+	modes := []sessionMode{
+		{wl: core.Workload{Model: cfg, Mode: model.Prompt, SeqLen: opts.PromptSeqLen}, classes: pre},
+		{wl: core.Workload{Model: cfg, Mode: model.Autoregressive, SeqLen: opts.DecodeSeqLen}, classes: dec},
+	}
+	var union []collective.SyncClass
+	seen := map[collective.SyncClass]bool{}
+	for _, m := range modes {
+		for _, c := range m.classes {
+			if !seen[c] {
+				seen[c] = true
+				union = append(union, c)
+			}
+		}
+	}
+	return modes, union, nil
+}
+
+// sessionModePoint spells one phase's exact evaluation under a binding
+// choice. All of the phase's classes on one topology collapse to the
+// zero-plan + run-topology spelling, sharing cache entries with the
+// uniform baselines, BestTopology, and the frontier sweeps; mixed
+// tuples bind the phase's classes explicitly, matching AutotunePlan's
+// grid spelling. The base system's own SyncPlan is overridden either
+// way.
+func sessionModePoint(base core.System, m sessionMode, pick func(collective.SyncClass) hw.Topology) evalpool.Point {
+	sys := base
+	same := true
+	t0 := pick(m.classes[0])
+	for _, c := range m.classes[1:] {
+		if pick(c) != t0 {
+			same = false
+			break
+		}
+	}
+	if same {
+		sys.Options.SyncPlan = collective.Plan{}
+		sys.HW.Topology = t0
+	} else {
+		var p collective.Plan
+		for _, c := range m.classes {
+			p = p.With(c, pick(c))
+		}
+		sys.Options.SyncPlan = p
+	}
+	return evalpool.Point{System: sys, Workload: m.wl}
+}
+
+// sessionEval collects evaluation points with deduplication, so one
+// Map call serves every distinct configuration of a stage.
+type sessionEval struct {
+	points []evalpool.Point
+	index  map[evalpool.Point]int
+}
+
+func newSessionEval() *sessionEval {
+	return &sessionEval{index: map[evalpool.Point]int{}}
+}
+
+func (se *sessionEval) add(pt evalpool.Point) int {
+	if i, ok := se.index[pt]; ok {
+		return i
+	}
+	i := len(se.points)
+	se.points = append(se.points, pt)
+	se.index[pt] = i
+	return i
+}
+
+// sessionCand is one joint candidate: its topology index per union
+// class (odometer order, first index cycling fastest — the same
+// enumeration AutotunePlan uses, so ties keep the earliest candidate
+// and the paper's tree wins exact draws) and the fully bound plan.
+type sessionCand struct {
+	idx  []int
+	plan collective.Plan
+}
+
+// enumerateSession builds the joint grid over the union classes.
+func enumerateSession(union []collective.SyncClass, topos []hw.Topology) []sessionCand {
+	var cands []sessionCand
+	idx := make([]int, len(union))
+	for {
+		var p collective.Plan
+		for i, c := range union {
+			p = p.With(c, topos[idx[i]])
+		}
+		cands = append(cands, sessionCand{idx: append([]int(nil), idx...), plan: p})
+		j := 0
+		for ; j < len(idx); j++ {
+			idx[j]++
+			if idx[j] < len(topos) {
+				break
+			}
+			idx[j] = 0
+		}
+		if j == len(idx) {
+			break
+		}
+	}
+	return cands
+}
+
+// AutotuneSession tunes the per-sync collective plan of a whole
+// generation session — one prompt prefill plus one autoregressive
+// decode step at the paper's sequence lengths — jointly over the full
+// class × topology grid, for the base system's chip count and network.
+//
+// By default it runs the predict-then-verify search: one probe
+// simulation per (class, topology) builds an additive per-class cost
+// model (session cost of a candidate = per-phase baseline + the sum of
+// its classes' measured deltas), every candidate in the joint grid is
+// ranked by predicted cost, and only the top-K plus the four uniform
+// sessions are verified exactly. The winner is the verified candidate
+// with the fewest exact cycles — predictions only choose what to
+// verify, never who wins — and on the pinned operating points the
+// equivalence tests hold it identical to exhaustive enumeration at a
+// fraction of the simulations (ExactSims vs GridSims on the result).
+// Set the returned Plan on System.Options.SyncPlan to deploy it.
+func AutotuneSession(base core.System, cfg model.Config, opts SessionOptions) (*SessionResult, error) {
+	simsBefore := evalpool.Simulations()
+	modes, union, err := sessionModes(base, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	topos := hw.Topologies()
+	refIdx := -1
+	for i, t := range topos {
+		if t == base.HW.Topology {
+			refIdx = i
+		}
+	}
+	if refIdx < 0 {
+		return nil, fmt.Errorf("explore: %s is not a supported topology", base.HW.Topology)
+	}
+	cands := enumerateSession(union, topos)
+
+	res := &SessionResult{
+		Candidates: len(cands),
+		GridSims:   2 * len(cands),
+		Network:    base.HW.Network,
+	}
+	var exact map[int]float64              // candidate index -> exact session cycles
+	var modeReports map[int][]*core.Report // candidate index -> per-phase reports
+	var predicted []float64
+	var verifyOrder []int
+
+	if opts.Exhaustive {
+		exact, modeReports, err = sessionExhaustive(base, modes, cands)
+		if err != nil {
+			return nil, err
+		}
+		for i := range cands {
+			verifyOrder = append(verifyOrder, i)
+		}
+	} else {
+		pred, err := newSessionPredictor(base, modes, union, topos, refIdx)
+		if err != nil {
+			return nil, err
+		}
+		res.Costs = pred.costs
+		predicted = make([]float64, len(cands))
+		for i, c := range cands {
+			predicted[i] = pred.predict(c.idx)
+		}
+		// Rank by predicted cost; ties keep enumeration order.
+		order := make([]int, len(cands))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			if predicted[order[a]] != predicted[order[b]] {
+				return predicted[order[a]] < predicted[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		topK := opts.TopK
+		if topK <= 0 {
+			topK = DefaultSessionTopK
+		}
+		if topK > len(order) {
+			topK = len(order)
+		}
+		verifyOrder = append(verifyOrder, order[:topK]...)
+		// The uniform sessions verify for free — their zero-plan
+		// spellings are the margin baseline's own points — and pinning
+		// them in the verified set guarantees the winner never loses to
+		// a uniform plan.
+		inSet := map[int]bool{}
+		for _, i := range verifyOrder {
+			inSet[i] = true
+		}
+		for ti := range topos {
+			if i := allSameIndex(ti, len(union), len(topos)); !inSet[i] {
+				inSet[i] = true
+				verifyOrder = append(verifyOrder, i)
+			}
+		}
+		exact, modeReports, err = sessionVerify(base, modes, cands, verifyOrder)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Winner: fewest exact session cycles among the verified
+	// candidates; ties keep the earliest candidate in enumeration
+	// order.
+	best := -1
+	for _, i := range verifyOrder {
+		if best < 0 || exact[i] < exact[best] || (exact[i] == exact[best] && i < best) {
+			best = i
+		}
+	}
+	res.Plan = cands[best].plan
+	res.Cycles = exact[best]
+	res.PrefillReport = modeReports[best][0]
+	res.DecodeReport = modeReports[best][1]
+	if opts.Exhaustive {
+		res.PredictedCycles = res.Cycles
+		res.RankAccuracy = 1
+	} else {
+		res.PredictedCycles = predicted[best]
+		for _, i := range verifyOrder {
+			res.Verified = append(res.Verified, SessionCandidate{
+				Plan:            cands[i].plan,
+				PredictedCycles: predicted[i],
+				Cycles:          exact[i],
+			})
+		}
+		sort.SliceStable(res.Verified, func(a, b int) bool {
+			return res.Verified[a].PredictedCycles < res.Verified[b].PredictedCycles
+		})
+		res.RankAccuracy = rankConcordance(res.Verified)
+	}
+	for _, c := range union {
+		topo, _ := res.Plan.Explicit(c)
+		res.PerClass = append(res.PerClass, ClassChoice{Class: c, Topology: topo})
+	}
+	// Best uniform session: the all-same candidates are always
+	// verified (exhaustive trivially includes them).
+	uniBest := -1
+	for ti := range topos {
+		i := allSameIndex(ti, len(union), len(topos))
+		if uniBest < 0 || exact[i] < exact[allSameIndex(uniBest, len(union), len(topos))] {
+			uniBest = ti
+		}
+	}
+	res.BestUniform = topos[uniBest]
+	res.UniformCycles = exact[allSameIndex(uniBest, len(union), len(topos))]
+	res.Margin = res.UniformCycles / res.Cycles
+	res.ExactSims = int(evalpool.Simulations() - simsBefore)
+	return res, nil
+}
+
+// allSameIndex is the enumeration index of the candidate binding every
+// class to topology ti: with the first class's index cycling fastest,
+// that is ti summed over every digit's place value.
+func allSameIndex(ti, classes, topos int) int {
+	idx, place := 0, 1
+	for k := 0; k < classes; k++ {
+		idx += ti * place
+		place *= topos
+	}
+	return idx
+}
+
+// sessionPredictor is the additive per-class cost model: per phase, an
+// all-reference baseline plus one measured delta per (class, topology).
+type sessionPredictor struct {
+	modes []sessionMode
+	pos   map[collective.SyncClass]int         // union class -> candidate index position
+	base  []float64                            // per-phase all-reference cycles
+	delta []map[collective.SyncClass][]float64 // per phase: class -> per-topology delta
+	costs []ClassCost
+}
+
+// newSessionPredictor runs the probe simulations — the four uniform
+// sessions (needed for the margin baseline anyway) and one
+// single-deviation probe per (phase, class, non-reference topology) —
+// and assembles the cost vector. The single-deviation probes make the
+// additive model exact whenever at most one class per phase leaves the
+// reference topology; the residual error is the within-phase
+// interaction between simultaneously rebound classes, which the exact
+// verification pass absorbs.
+func newSessionPredictor(base core.System, modes []sessionMode, union []collective.SyncClass, topos []hw.Topology, refIdx int) (*sessionPredictor, error) {
+	ref := topos[refIdx]
+	ev := newSessionEval()
+	uniform := make([][]int, len(modes))
+	type probeRef struct {
+		mode  int
+		class collective.SyncClass
+		topo  int
+		point int
+	}
+	var probes []probeRef
+	for mi, m := range modes {
+		uniform[mi] = make([]int, len(topos))
+		for ti, t := range topos {
+			tt := t
+			uniform[mi][ti] = ev.add(sessionModePoint(base, m, func(collective.SyncClass) hw.Topology { return tt }))
+		}
+		for _, c := range m.classes {
+			for ti, t := range topos {
+				if ti == refIdx {
+					continue
+				}
+				cc, tt := c, t
+				pt := ev.add(sessionModePoint(base, m, func(x collective.SyncClass) hw.Topology {
+					if x == cc {
+						return tt
+					}
+					return ref
+				}))
+				probes = append(probes, probeRef{mode: mi, class: c, topo: ti, point: pt})
+			}
+		}
+	}
+	reports, err := evalpool.Map(ev.points)
+	if err != nil {
+		return nil, fmt.Errorf("explore: session probes: %w", err)
+	}
+	p := &sessionPredictor{
+		modes: modes,
+		pos:   make(map[collective.SyncClass]int, len(union)),
+		base:  make([]float64, len(modes)),
+		delta: make([]map[collective.SyncClass][]float64, len(modes)),
+	}
+	for i, c := range union {
+		p.pos[c] = i
+	}
+	classC2C := func(rep *core.Report, c collective.SyncClass) float64 {
+		for _, cs := range rep.ByClass {
+			if cs.Class == c {
+				return cs.C2CCycles
+			}
+		}
+		return 0
+	}
+	for mi, m := range modes {
+		p.base[mi] = reports[uniform[mi][refIdx]].Cycles
+		p.delta[mi] = map[collective.SyncClass][]float64{}
+		for _, c := range m.classes {
+			p.delta[mi][c] = make([]float64, len(topos))
+			p.costs = append(p.costs, ClassCost{
+				Mode:      m.wl.Mode,
+				Class:     c,
+				Topology:  ref,
+				C2CCycles: classC2C(reports[uniform[mi][refIdx]], c),
+			})
+		}
+	}
+	for _, pr := range probes {
+		rep := reports[pr.point]
+		p.delta[pr.mode][pr.class][pr.topo] = rep.Cycles - p.base[pr.mode]
+		p.costs = append(p.costs, ClassCost{
+			Mode:        modes[pr.mode].wl.Mode,
+			Class:       pr.class,
+			Topology:    topos[pr.topo],
+			DeltaCycles: rep.Cycles - p.base[pr.mode],
+			C2CCycles:   classC2C(rep, pr.class),
+		})
+	}
+	return p, nil
+}
+
+// predict composes a candidate's session cost from the per-class
+// deltas — a few additions, no simulation.
+func (p *sessionPredictor) predict(idx []int) float64 {
+	total := 0.0
+	for mi, m := range p.modes {
+		cycles := p.base[mi]
+		for _, c := range m.classes {
+			cycles += p.delta[mi][c][idx[p.pos[c]]]
+		}
+		total += cycles
+	}
+	return total
+}
+
+// sessionVerify evaluates the selected candidates exactly, one
+// phase-restricted point per phase (so probe and uniform points are
+// reused from the cache), and returns exact session cycles plus the
+// per-phase reports.
+func sessionVerify(base core.System, modes []sessionMode, cands []sessionCand, sel []int) (map[int]float64, map[int][]*core.Report, error) {
+	ev := newSessionEval()
+	pts := make(map[int][]int, len(sel))
+	for _, i := range sel {
+		c := cands[i]
+		ids := make([]int, len(modes))
+		for mi, m := range modes {
+			cc := c
+			ids[mi] = ev.add(sessionModePoint(base, m, func(x collective.SyncClass) hw.Topology {
+				t, _ := cc.plan.Explicit(x)
+				return t
+			}))
+		}
+		pts[i] = ids
+	}
+	reports, err := evalpool.Map(ev.points)
+	if err != nil {
+		return nil, nil, fmt.Errorf("explore: session verify: %w", err)
+	}
+	exact := make(map[int]float64, len(sel))
+	modeReports := make(map[int][]*core.Report, len(sel))
+	for i, ids := range pts {
+		var sum float64
+		reps := make([]*core.Report, len(ids))
+		for mi, id := range ids {
+			reps[mi] = reports[id]
+			sum += reports[id].Cycles
+		}
+		exact[i] = sum
+		modeReports[i] = reps
+	}
+	return exact, modeReports, nil
+}
+
+// sessionExhaustive evaluates every joint candidate as deployed: the
+// fully merged plan rides in both phases' cache keys, which is exactly
+// how a user runs the plan — and why the naive grid costs
+// 2 × candidates simulations (phase results that cannot depend on the
+// other phase's bindings still occupy distinct cache entries). This is
+// the ground truth the pruned search is held to.
+func sessionExhaustive(base core.System, modes []sessionMode, cands []sessionCand) (map[int]float64, map[int][]*core.Report, error) {
+	ev := newSessionEval()
+	pts := make(map[int][]int, len(cands))
+	for i, c := range cands {
+		sys := base
+		sys.Options.SyncPlan = c.plan
+		ids := make([]int, len(modes))
+		for mi, m := range modes {
+			ids[mi] = ev.add(evalpool.Point{System: sys, Workload: m.wl})
+		}
+		pts[i] = ids
+	}
+	reports, err := evalpool.Map(ev.points)
+	if err != nil {
+		return nil, nil, fmt.Errorf("explore: session grid: %w", err)
+	}
+	exact := make(map[int]float64, len(cands))
+	modeReports := make(map[int][]*core.Report, len(cands))
+	for i, ids := range pts {
+		var sum float64
+		reps := make([]*core.Report, len(ids))
+		for mi, id := range ids {
+			reps[mi] = reports[id]
+			sum += reports[id].Cycles
+		}
+		exact[i] = sum
+		modeReports[i] = reps
+	}
+	return exact, modeReports, nil
+}
+
+// rankConcordance is the fraction of verified candidate pairs whose
+// exact ordering agrees with the predicted ordering (list is in
+// predicted order; exact ties count as concordant).
+func rankConcordance(v []SessionCandidate) float64 {
+	if len(v) < 2 {
+		return 1
+	}
+	pairs, ok := 0, 0
+	for i := 0; i < len(v); i++ {
+		for j := i + 1; j < len(v); j++ {
+			pairs++
+			if v[i].Cycles <= v[j].Cycles {
+				ok++
+			}
+		}
+	}
+	return float64(ok) / float64(pairs)
+}
+
+// AutotuneSessionNetworks folds the network axis into the session
+// autotuner: it tunes one joint plan per network profile on otherwise
+// identical systems — "a plan per network profile", the clustered
+// boards' deployment question — and returns results in input order.
+// All evaluations share the process-wide report cache.
+func AutotuneSessionNetworks(base core.System, cfg model.Config, opts SessionOptions, nets []hw.Network) ([]*SessionResult, error) {
+	out := make([]*SessionResult, len(nets))
+	for i, net := range nets {
+		sys := base
+		sys.HW.Network = net
+		res, err := AutotuneSession(sys, cfg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("explore: session autotune on %s: %w", net, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}

@@ -224,7 +224,12 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 		// leaving collective edges undefined.
 		sched, err = interconnect.NewBareSchedule(d.HW.Topology, n, d.HW.GroupSize)
 	} else {
-		sched, err = interconnect.NewSchedule(d.HW, n)
+		// Collective schedules come from the process-wide intern cache:
+		// lowering and validation run once per (network, chips,
+		// topology) triple, so repeated evaluations — sweeps, frontier
+		// grids, autotuning — never re-lower on the hot path. The
+		// interned schedule is shared and read-only.
+		sched, err = interconnect.CachedSchedule(d.HW, n)
 	}
 	if err != nil {
 		return nil, err
@@ -254,12 +259,13 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 	for _, c := range sched.Classes {
 		s.classIndex(c)
 	}
-	// Lower one schedule per topology the collective plan binds to a
-	// class this run executes, each resolved and validated against the
-	// network wiring up front — a plan routing an active class over an
-	// unwired edge fails here, before any simulation runs, while a
-	// merged prefill+decode plan never pays (or fails) for the other
-	// mode's bindings. The run topology's schedule is reused
+	// Resolve one schedule per topology the collective plan binds to a
+	// class this run executes, each lowered and validated against the
+	// network wiring up front (through the same intern cache as the run
+	// schedule) — a plan routing an active class over an unwired edge
+	// fails here, before any simulation runs, while a merged
+	// prefill+decode plan never pays (or fails) for the other mode's
+	// bindings. The run topology's schedule is reused
 	// untouched, so the zero plan stays byte-identical to the
 	// single-topology simulator. The pipeline strategy executes no
 	// collectives and skips the lowering (its network may wire only
@@ -275,11 +281,8 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 			}
 			hp := d.HW
 			hp.Topology = topo
-			alt, err := interconnect.NewSchedule(hp, n)
+			alt, err := interconnect.CachedSchedule(hp, n)
 			if err != nil {
-				return nil, fmt.Errorf("perfsim: collective plan: %w", err)
-			}
-			if err := alt.Validate(); err != nil {
 				return nil, fmt.Errorf("perfsim: collective plan: %w", err)
 			}
 			s.scheds[topo] = alt

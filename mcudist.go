@@ -76,6 +76,21 @@ type (
 	AutotuneResult = explore.AutotuneResult
 	// ClassChoice is one per-class decision of an autotuned plan.
 	ClassChoice = explore.ClassChoice
+	// SessionOptions tunes the joint prefill+decode autotuner (the
+	// TopK pruning knob, the Exhaustive ground-truth mode, sequence
+	// lengths).
+	SessionOptions = explore.SessionOptions
+	// SessionResult is the outcome of a joint-session plan autotuning:
+	// the winning plan, its margin over the best uniform session, the
+	// predictor's rank accuracy, and the exact-simulation bill.
+	SessionResult = explore.SessionResult
+	// SessionCandidate is one exactly-verified candidate of a session
+	// autotuning: plan, predicted cycles, exact cycles.
+	SessionCandidate = explore.SessionCandidate
+	// SessionClassCost is one entry of the session predictor's
+	// per-class cost vector (the measured cycle delta of one
+	// class-to-topology binding).
+	SessionClassCost = explore.ClassCost
 )
 
 // Model description API.
@@ -329,6 +344,31 @@ func UniformPlan(t Topology) SyncPlan { return collective.Uniform(t) }
 func AutotunePlan(base System, wl Workload) (*AutotuneResult, error) {
 	return explore.AutotunePlan(base, wl)
 }
+
+// AutotuneSession tunes the collective plan of a whole generation
+// session — one prompt prefill plus one decode step — jointly over
+// the full class × topology grid, using a per-class cost predictor to
+// rank the joint candidates and exact simulations only for the
+// predicted top-K plus the uniform baselines (the winner is always
+// chosen on exact cycles). DefaultSessionTopK candidates are verified
+// when opts.TopK is zero; opts.Exhaustive enumerates the whole grid
+// exactly instead. Set the returned Plan on System.Options.SyncPlan
+// to deploy it.
+func AutotuneSession(base System, cfg Config, opts SessionOptions) (*SessionResult, error) {
+	return explore.AutotuneSession(base, cfg, opts)
+}
+
+// AutotuneSessionNetworks tunes one joint session plan per network
+// profile on otherwise identical systems — the clustered boards'
+// "plan per network" deployment question — returning results in input
+// order.
+func AutotuneSessionNetworks(base System, cfg Config, opts SessionOptions, nets []Network) ([]*SessionResult, error) {
+	return explore.AutotuneSessionNetworks(base, cfg, opts, nets)
+}
+
+// DefaultSessionTopK is the number of predicted-best candidates
+// AutotuneSession verifies exactly when SessionOptions.TopK is zero.
+const DefaultSessionTopK = explore.DefaultSessionTopK
 
 // MIPI returns the paper's chip-to-chip link class: 0.5 GB/s, 256
 // setup cycles, 100 pJ/B.

@@ -19,6 +19,7 @@ import (
 	"mcudist/internal/hw"
 	"mcudist/internal/interconnect"
 	"mcudist/internal/model"
+	"mcudist/internal/resultstore"
 )
 
 // benchSweep runs a chips sweep each iteration and reports the last
@@ -567,4 +568,71 @@ func BenchmarkSingleRun64Chips(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkResultStoreWarm measures a store-backed warm replay: the
+// paper's 1-8 chip TinyLlama sweep with the in-process memo dropped
+// each iteration, so every report is deserialized from the persistent
+// result store instead of simulated. The zero warm_sims metric is the
+// point: a rerun of an already-simulated grid costs disk reads only.
+func BenchmarkResultStoreWarm(b *testing.B) {
+	store, err := resultstore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	evalpool.SetStore(store)
+	defer evalpool.SetStore(nil)
+	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Prompt}
+	chips := []int{1, 2, 4, 8}
+	evalpool.ResetCache()
+	if _, err := evalpool.Eval(core.DefaultSystem(1), wl, chips); err != nil {
+		b.Fatal(err)
+	}
+	simsBefore := evalpool.Simulations()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
+		if _, err := evalpool.Eval(core.DefaultSystem(1), wl, chips); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if sims := evalpool.Simulations() - simsBefore; sims != 0 {
+		b.Fatalf("warm replay ran %d simulations, want 0", sims)
+	}
+	b.ReportMetric(0, "warm_sims")
+	b.ReportMetric(float64(store.Len()), "store_entries")
+	b.ReportMetric(float64(store.SizeBytes()), "store_bytes")
+}
+
+// BenchmarkSurrogateFrontier measures the surrogate-first plan
+// frontier scan at the pinned 8-chip point with a cold report cache
+// each iteration — fit the additive cost model, predict all 256 joint
+// plans, verify only the plausible-front band exactly. The
+// sims_saved_x metric is the exhaustive grid's bill over what the
+// scan ran (>= 5x is pinned by TestPlanFrontierMatchesExhaustive8).
+func BenchmarkSurrogateFrontier(b *testing.B) {
+	base := core.DefaultSystem(1)
+	cfg := model.TinyLlama42M()
+	var res *explore.PlanFrontierResult
+	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
+		r, err := explore.PlanFrontier(base, cfg, []int{8}, explore.PlanFrontierOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	front := 0
+	for _, p := range res.Points {
+		if p.Pareto {
+			front++
+		}
+	}
+	b.ReportMetric(float64(front), "front_points")
+	b.ReportMetric(float64(res.ExactSims), "exact_sims")
+	b.ReportMetric(float64(res.GridSims), "grid_sims")
+	b.ReportMetric(float64(res.GridSims)/float64(res.ExactSims), "sims_saved_x")
 }

@@ -11,6 +11,9 @@
 //	paperrepro -only network -cluster 4 -backhaul 10
 //	                        # heterogeneous-link ablation: tree vs ring
 //	                        # with a 10x-slower inter-cluster backhaul
+//	paperrepro -cache-dir ~/.cache/mcudist -cache-stats
+//	                        # persistent result store: a second run
+//	                        # reports exact_sims=0 with identical output
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"mcudist/internal/evalpool"
 	"mcudist/internal/experiments"
 	"mcudist/internal/report"
+	"mcudist/internal/resultstore"
 )
 
 type step struct {
@@ -34,8 +38,16 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 	cluster := flag.Int("cluster", 4, "network ablation: chips per fast local cluster")
 	backhaul := flag.Float64("backhaul", 10, "network ablation: inter-cluster bandwidth slowdown vs MIPI")
+	cacheDir := flag.String("cache-dir", "", "persistent result store directory: configurations simulated once are reloaded on every later run (default off; falls back to $MCUDIST_CACHE)")
+	cacheStats := flag.Bool("cache-stats", false, "print memory-hit / disk-hit / exact-simulation counts and store size to stderr at exit")
 	flag.Parse()
 	evalpool.SetWorkers(*workers)
+	store, err := openCache(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+	defer printCacheStats(*cacheStats, store)
 
 	all := []step{
 		{"fig4a", fig4(experiments.Fig4a, "paper: 26.1x at 8 chips, L3-bound below")},
@@ -338,6 +350,45 @@ func extensions() error {
 		t.AddRow(r.Chips, r.Payload, r.TreeCycles, r.RingCycles)
 	}
 	return t.Render(os.Stdout)
+}
+
+// openCache attaches the persistent result store to the evaluation
+// pool: the -cache-dir flag, or the MCUDIST_CACHE environment variable
+// when the flag is empty, or nothing (the cache stays off).
+func openCache(dir string) (*resultstore.Store, error) {
+	if dir == "" {
+		dir = os.Getenv("MCUDIST_CACHE")
+	}
+	if dir == "" {
+		return nil, nil
+	}
+	store, err := resultstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	evalpool.SetStore(store)
+	return store, nil
+}
+
+// printCacheStats reports the cache-tier split on stderr (stdout
+// carries the tables, byte-identical cold or warm), in a
+// grep-friendly key=value line: a fully warm store shows
+// exact_sims=0, which the CI smoke pins over the whole experiment
+// suite.
+func printCacheStats(show bool, store *resultstore.Store) {
+	if !show {
+		return
+	}
+	st := evalpool.GetStats()
+	fmt.Fprintf(os.Stderr, "cache-stats: memory_hits=%d disk_hits=%d exact_sims=%d",
+		st.MemoryHits, st.DiskHits, st.Simulations)
+	if store != nil {
+		fmt.Fprintf(os.Stderr, " store_entries=%d store_bytes=%d store_dir=%s",
+			store.Len(), store.SizeBytes(), store.Dir())
+	} else {
+		fmt.Fprint(os.Stderr, " store=off")
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 func yn(b bool) string {

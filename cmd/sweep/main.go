@@ -14,6 +14,9 @@
 //	sweep -model scaled -chips 8,64 -autotune-session
 //	sweep -model scaled -chips 64 -autotune-session -topk 16 \
 //	      -network clustered -cluster 4 -backhaul 10
+//	sweep -model scaled -chips 1,2,4,8 -cache-dir ~/.cache/mcudist -cache-stats
+//	                        # second run answers from the persistent
+//	                        # result store: exact_sims=0
 package main
 
 import (
@@ -30,26 +33,34 @@ import (
 	"mcudist/internal/hw"
 	"mcudist/internal/model"
 	"mcudist/internal/report"
+	"mcudist/internal/resultstore"
 )
 
 func main() {
 	var (
-		modelName = flag.String("model", "tinyllama", "model: tinyllama | scaled | mobilebert")
-		modeName  = flag.String("mode", "autoregressive", "mode: autoregressive | prompt")
-		chipsList = flag.String("chips", "1,2,4,8", "comma-separated chip counts")
-		seqLen    = flag.Int("seqlen", 0, "sequence length (0 = paper default)")
-		topoName  = flag.String("topology", "tree", "interconnect shape: tree | star | ring | fully-connected")
-		netName   = flag.String("network", "uniform", "link-layer profile: uniform | clustered")
-		backhaul  = flag.Float64("backhaul", 10, "clustered profile: inter-cluster bandwidth slowdown vs MIPI")
-		cluster   = flag.Int("cluster", 4, "clustered profile: chips per fast local cluster")
-		planSpec  = flag.String("plan", "", "per-sync collective plan, e.g. prefill=ring,decode=tree (empty = uniform -topology)")
-		autotune  = flag.Bool("autotune", false, "autotune the per-sync plan at each chip count and report it against the best uniform topology")
-		session   = flag.Bool("autotune-session", false, "autotune prefill+decode jointly at each chip count (predict-then-verify over the full class x topology grid; -mode is ignored, -seqlen sets the prompt length)")
-		topK      = flag.Int("topk", 0, "session autotuning: predicted-best candidates to verify exactly (0 = default)")
-		workers   = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
+		modelName  = flag.String("model", "tinyllama", "model: tinyllama | scaled | mobilebert")
+		modeName   = flag.String("mode", "autoregressive", "mode: autoregressive | prompt")
+		chipsList  = flag.String("chips", "1,2,4,8", "comma-separated chip counts")
+		seqLen     = flag.Int("seqlen", 0, "sequence length (0 = paper default)")
+		topoName   = flag.String("topology", "tree", "interconnect shape: tree | star | ring | fully-connected")
+		netName    = flag.String("network", "uniform", "link-layer profile: uniform | clustered")
+		backhaul   = flag.Float64("backhaul", 10, "clustered profile: inter-cluster bandwidth slowdown vs MIPI")
+		cluster    = flag.Int("cluster", 4, "clustered profile: chips per fast local cluster")
+		planSpec   = flag.String("plan", "", "per-sync collective plan, e.g. prefill=ring,decode=tree (empty = uniform -topology)")
+		autotune   = flag.Bool("autotune", false, "autotune the per-sync plan at each chip count and report it against the best uniform topology")
+		session    = flag.Bool("autotune-session", false, "autotune prefill+decode jointly at each chip count (predict-then-verify over the full class x topology grid; -mode is ignored, -seqlen sets the prompt length)")
+		topK       = flag.Int("topk", 0, "session autotuning: predicted-best candidates to verify exactly (0 = default)")
+		workers    = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", "", "persistent result store directory: configurations simulated once are reloaded on every later run (default off; falls back to $MCUDIST_CACHE)")
+		cacheStats = flag.Bool("cache-stats", false, "print memory-hit / disk-hit / exact-simulation counts and store size to stderr after the sweep")
 	)
 	flag.Parse()
 	evalpool.SetWorkers(*workers)
+	store, err := openCache(*cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	defer printCacheStats(*cacheStats, store)
 
 	topo, err := hw.ParseTopology(*topoName)
 	if err != nil {
@@ -197,6 +208,44 @@ func buildNetwork(name string, clusterSize int, backhaul float64) (hw.Network, e
 	default:
 		return hw.Network{}, fmt.Errorf("network profile %s has no flag spelling (use the mcudist.TableNetwork API)", profile)
 	}
+}
+
+// openCache attaches the persistent result store to the evaluation
+// pool: the -cache-dir flag, or the MCUDIST_CACHE environment variable
+// when the flag is empty, or nothing (the cache stays off).
+func openCache(dir string) (*resultstore.Store, error) {
+	if dir == "" {
+		dir = os.Getenv("MCUDIST_CACHE")
+	}
+	if dir == "" {
+		return nil, nil
+	}
+	store, err := resultstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	evalpool.SetStore(store)
+	return store, nil
+}
+
+// printCacheStats reports the cache-tier split on stderr (stdout
+// carries the CSV), in a grep-friendly key=value line, so sims-saved
+// claims are measurable from the CLI: a fully warm store shows
+// exact_sims=0.
+func printCacheStats(show bool, store *resultstore.Store) {
+	if !show {
+		return
+	}
+	st := evalpool.GetStats()
+	fmt.Fprintf(os.Stderr, "cache-stats: memory_hits=%d disk_hits=%d exact_sims=%d",
+		st.MemoryHits, st.DiskHits, st.Simulations)
+	if store != nil {
+		fmt.Fprintf(os.Stderr, " store_entries=%d store_bytes=%d store_dir=%s",
+			store.Len(), store.SizeBytes(), store.Dir())
+	} else {
+		fmt.Fprint(os.Stderr, " store=off")
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 func fatal(err error) {

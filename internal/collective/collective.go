@@ -214,6 +214,25 @@ func (p Plan) String() string {
 	return strings.Join(parts, ",")
 }
 
+// MarshalText emits the flag-syntax spelling ("prefill=ring,decode=tree",
+// "uniform" for the zero plan), so JSON/CSV sinks — the persistent
+// result store among them — serialize a Plan readably instead of
+// dropping its unexported binding array.
+func (p Plan) MarshalText() ([]byte, error) {
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText parses any spelling ParsePlan accepts, so
+// MarshalText's output round-trips bit for bit.
+func (p *Plan) UnmarshalText(text []byte) error {
+	v, err := ParsePlan(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
 // classesFor maps one assignment key of the flag syntax to the classes
 // it binds.
 func classesFor(key string) ([]SyncClass, error) {

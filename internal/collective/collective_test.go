@@ -195,3 +195,42 @@ func TestWithPanicsOnInvalid(t *testing.T) {
 	expectPanic("invalid class", func() { Plan{}.With(NumSyncClasses, hw.TopoTree) })
 	expectPanic("invalid topology", func() { Plan{}.With(PrefillMHSA, hw.Topology(99)) })
 }
+
+// MarshalText must emit a spelling UnmarshalText restores bit for bit
+// — the property JSON sinks (the persistent result store among them)
+// rely on, since the binding array is unexported.
+func TestPlanTextRoundTrip(t *testing.T) {
+	plans := []Plan{
+		{}, // zero plan: "uniform"
+		Uniform(hw.TopoRing),
+		mustParse(t, "prefill=ring,decode=tree"),
+		mustParse(t, "prefill-mhsa=star,decode-ffn=fully-connected"),
+		mustParse(t, "all=tree"),
+	}
+	for _, p := range plans {
+		text, err := p.MarshalText()
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		var back Plan
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		if back != p {
+			t.Errorf("round trip %q: got %s, want %s", text, back, p)
+		}
+	}
+	var bad Plan
+	if err := bad.UnmarshalText([]byte("prefill=moebius")); err == nil {
+		t.Error("bad topology spelling accepted")
+	}
+}
+
+func mustParse(t *testing.T, s string) Plan {
+	t.Helper()
+	p, err := ParsePlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -13,6 +13,15 @@
 // equivalence is locked in by TestPoolMatchesSerial and a race-detector
 // pass over this package.
 //
+// The in-process cache is the fast tier of a two-tier design: a pool
+// may additionally be attached (SetStore) to a persistent
+// resultstore.Store, which is consulted on every memory miss and
+// appended to on every successful fill. Errors never reach the store —
+// a failure may be transient, so it is retried in any process that has
+// not already memoized it. Stats exposes the tier split (memory hits /
+// disk hits / exact simulations) so searches and CLIs can report
+// exactly what a cache saved.
+//
 // Reports returned by the engine may be shared between callers and
 // must be treated as immutable.
 package evalpool
@@ -24,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"mcudist/internal/core"
+	"mcudist/internal/resultstore"
 )
 
 // Point is one configuration to evaluate: a fully specified system
@@ -44,11 +54,35 @@ type Pool struct {
 
 	// sims counts cache-miss evaluations (core.Run invocations) over
 	// the pool's lifetime; it survives Reset so callers can meter the
-	// exact-simulation cost of a search by delta.
-	sims atomic.Uint64
+	// exact-simulation cost of a search by delta. evals counts memory
+	// misses regardless of which tier fills them (disk hit or
+	// simulation) — the storage-independent "distinct exact evaluations"
+	// a search needed.
+	sims  atomic.Uint64
+	evals atomic.Uint64
+	// memHits counts requests answered by an already-settled (or
+	// in-flight) in-process cache entry; diskHits counts memory misses
+	// filled from the persistent store instead of a simulation.
+	memHits  atomic.Uint64
+	diskHits atomic.Uint64
+
+	// store is the optional persistent tier (nil when detached).
+	store atomic.Pointer[resultstore.Store]
 
 	mu    sync.Mutex
 	cache map[Point]*cacheEntry
+}
+
+// Stats is a snapshot of a pool's cache-tier counters. All three
+// survive Reset, so the cost profile of one search is the delta of a
+// snapshot taken around it.
+type Stats struct {
+	// MemoryHits counts requests served by the in-process cache.
+	MemoryHits uint64
+	// DiskHits counts memory misses filled from the persistent store.
+	DiskHits uint64
+	// Simulations counts exact core.Run invocations.
+	Simulations uint64
 }
 
 // cacheEntry memoizes one evaluation. The first requester runs
@@ -80,9 +114,11 @@ func (p *Pool) Reset() {
 	p.mu.Unlock()
 }
 
-// Run evaluates one point through the cache: the first request for a
-// configuration invokes core.Run, every later request returns the
-// memoized report.
+// Run evaluates one point through the cache tiers: the in-process
+// memo first, then the attached persistent store (if any), and only
+// then an exact core.Run — whose successful report is appended to the
+// store for every later process. Failed evaluations are memoized for
+// this process's lifetime (until Reset) but never persisted.
 func (p *Pool) Run(sys core.System, wl core.Workload) (*core.Report, error) {
 	key := Point{System: sys, Workload: wl}
 	p.mu.Lock()
@@ -92,12 +128,39 @@ func (p *Pool) Run(sys core.System, wl core.Workload) (*core.Report, error) {
 		p.cache[key] = e
 	}
 	p.mu.Unlock()
+	if ok {
+		p.memHits.Add(1)
+	}
 	e.once.Do(func() {
+		p.evals.Add(1)
+		if s := p.store.Load(); s != nil {
+			if rep, hit := s.Load(sys, wl); hit {
+				p.diskHits.Add(1)
+				e.rep = rep
+				return
+			}
+		}
 		p.sims.Add(1)
 		e.rep, e.err = core.Run(sys, wl)
+		if e.err == nil {
+			if s := p.store.Load(); s != nil {
+				// A failed append degrades the store to a smaller cache,
+				// never the evaluation itself.
+				_ = s.Append(sys, wl, e.rep)
+			}
+		}
 	})
 	return e.rep, e.err
 }
+
+// SetStore attaches (or, with nil, detaches) a persistent result
+// store as the pool's second cache tier. Safe to call concurrently
+// with Run; in-flight evaluations settle against whichever store they
+// observed.
+func (p *Pool) SetStore(s *resultstore.Store) { p.store.Store(s) }
+
+// Store returns the attached persistent store, or nil.
+func (p *Pool) Store() *resultstore.Store { return p.store.Load() }
 
 // Simulations returns the number of cache-miss evaluations — actual
 // core.Run invocations — the pool has executed since construction.
@@ -106,6 +169,23 @@ func (p *Pool) Run(sys core.System, wl core.Workload) (*core.Report, error) {
 // (process-wide on the default pool: concurrent unrelated work is
 // counted too).
 func (p *Pool) Simulations() uint64 { return p.sims.Load() }
+
+// Evaluations returns the number of memory-memo misses the pool has
+// settled — exact evaluations a caller needed, whether a simulation
+// ran or the persistent store answered. Searches meter their cost by
+// this counter's delta so reported sim counts are byte-identical with
+// and without a warm store; Simulations is the subset that actually
+// invoked core.Run.
+func (p *Pool) Evaluations() uint64 { return p.evals.Load() }
+
+// Stats returns a snapshot of the pool's lifetime cache counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		MemoryHits:  p.memHits.Load(),
+		DiskHits:    p.diskHits.Load(),
+		Simulations: p.sims.Load(),
+	}
+}
 
 // Map evaluates every point on the worker pool and returns reports in
 // input order. On failure it returns the error of the lowest failing
@@ -175,11 +255,15 @@ var (
 
 // SetWorkers replaces the default pool with one of the given
 // concurrency (<= 0 selects GOMAXPROCS), dropping the accumulated
-// cache. Commands call this once at startup from their -workers flag;
-// it is not intended to race with in-flight evaluations.
+// cache and restarting the counters but keeping any attached
+// persistent store. Commands call this once at startup from their
+// -workers flag; it is not intended to race with in-flight
+// evaluations.
 func SetWorkers(n int) {
 	defaultMu.Lock()
+	store := defaultPool.Store()
 	defaultPool = New(n)
+	defaultPool.SetStore(store)
 	defaultMu.Unlock()
 }
 
@@ -199,6 +283,17 @@ func ResetCache() { Default().Reset() }
 // (see Pool.Simulations). SetWorkers replaces the pool and therefore
 // restarts the counter.
 func Simulations() uint64 { return Default().Simulations() }
+
+// Evaluations returns the default pool's memory-miss count (see
+// Pool.Evaluations).
+func Evaluations() uint64 { return Default().Evaluations() }
+
+// SetStore attaches a persistent result store to the default pool
+// (nil detaches). The attachment survives SetWorkers.
+func SetStore(s *resultstore.Store) { Default().SetStore(s) }
+
+// GetStats returns the default pool's cache-tier counters.
+func GetStats() Stats { return Default().Stats() }
 
 // Run evaluates one point on the default pool's cache.
 func Run(sys core.System, wl core.Workload) (*core.Report, error) {

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"mcudist/internal/evalpool"
+	"mcudist/internal/resultstore"
+)
+
+// runSuite executes every experiment entry point in the package — the
+// same set cmd/paperrepro renders — and returns the results keyed by
+// name, so two passes can be compared structurally.
+func runSuite(t *testing.T) map[string]any {
+	t.Helper()
+	out := map[string]any{}
+	run := func(name string, f func() (any, error)) {
+		res, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = res
+	}
+	run("fig4a", func() (any, error) { return Fig4a() })
+	run("fig4b", func() (any, error) { return Fig4b() })
+	run("fig4c", func() (any, error) { return Fig4c() })
+	run("fig5a", func() (any, error) { return Fig5a() })
+	run("fig5b", func() (any, error) { return Fig5b() })
+	run("fig5c", func() (any, error) { return Fig5c() })
+	run("fig6", func() (any, error) { return Fig6() })
+	run("table1", func() (any, error) { return Table1() })
+	run("headline", func() (any, error) { return RunHeadline() })
+	run("ablation-reduce-topology", func() (any, error) { return AblationReduceTopology() })
+	run("ablation-topology-shapes", func() (any, error) { return AblationTopologyShapes() })
+	run("ablation-network-backhaul", func() (any, error) { return AblationNetworkBackhaul(4, 10) })
+	run("ablation-group-size", func() (any, error) { return AblationGroupSize() })
+	run("ablation-reduce-precision", func() (any, error) { return AblationReducePrecision() })
+	run("ablation-prefetch", func() (any, error) { return AblationPrefetch() })
+	run("ablation-activation-spill", func() (any, error) { return AblationActivationSpill() })
+	run("ablation-degraded-link", func() (any, error) { return AblationDegradedLink() })
+	run("ablation-straggler", func() (any, error) { return AblationStraggler() })
+	run("ablation-link-bandwidth", func() (any, error) { return AblationLinkBandwidth() })
+	run("ablation-syncplan", func() (any, error) { return AblationSyncPlan() })
+	run("session-autotune", func() (any, error) { return SessionAutotune() })
+	run("extension-full-grid", func() (any, error) { return ExtensionFullGrid() })
+	run("extension-seqlen", func() (any, error) { return ExtensionSeqLenStudy() })
+	run("extension-context", func() (any, error) { return ExtensionContextStudy() })
+	run("extension-lmhead", func() (any, error) { return ExtensionLMHeadStudy() })
+	run("extension-batching", func() (any, error) { return ExtensionBatchingStudy() })
+	run("extension-collective", func() (any, error) { return ExtensionCollectiveStudy() })
+	run("extension-gqa", func() (any, error) { return ExtensionGQAStudy() })
+	return out
+}
+
+// The whole experiments suite — every figure, table, ablation, and
+// extension study — must replay from a warm persistent store without
+// a single exact simulation, and produce structurally identical
+// results. This is the paper-repro acceptance property end to end:
+// the Stats() delta of the warm pass pins Simulations to zero.
+func TestSuiteWarmStoreZeroSims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiments suite twice")
+	}
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	evalpool.SetStore(store)
+	defer evalpool.SetStore(nil)
+	// Both passes start from a cold memory memo, so the warm pass's
+	// hits are the disk tier's alone.
+	evalpool.ResetCache()
+
+	before := evalpool.GetStats()
+	cold := runSuite(t)
+	mid := evalpool.GetStats()
+	if sims := mid.Simulations - before.Simulations; sims == 0 {
+		t.Fatal("cold pass ran no simulations — the suite proves nothing")
+	}
+	if hits := mid.DiskHits - before.DiskHits; hits != 0 {
+		t.Errorf("cold pass took %d disk hits from an empty store", hits)
+	}
+	if store.Len() == 0 {
+		t.Fatal("cold pass left the store empty")
+	}
+
+	evalpool.ResetCache()
+	warm := runSuite(t)
+	after := evalpool.GetStats()
+	if sims := after.Simulations - mid.Simulations; sims != 0 {
+		t.Errorf("warm pass ran %d exact simulations, want 0", sims)
+	}
+	if hits := after.DiskHits - mid.DiskHits; hits == 0 {
+		t.Error("warm pass took no disk hits")
+	}
+
+	for name, c := range cold {
+		if !reflect.DeepEqual(c, warm[name]) {
+			t.Errorf("%s: warm result differs from cold", name)
+		}
+	}
+}

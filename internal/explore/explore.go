@@ -115,18 +115,35 @@ func MinChipsOffChipFree(base core.System, wl core.Workload, maxChips int) (*Poi
 		maxChips, wl.Model.Name)
 }
 
+// gridEval is the shared evaluation step behind every frontier in
+// this package: it fans the whole candidate grid out through the
+// evalpool tiers and marks the latency/energy Pareto front across the
+// union. Each frontier differs only in how it spells its grid.
+func gridEval(points []evalpool.Point) ([]*core.Report, []bool, error) {
+	reports, err := evalpool.Map(points)
+	if err != nil {
+		return nil, nil, fmt.Errorf("explore: %w", err)
+	}
+	return reports, paretoMask(reports), nil
+}
+
 // Frontier evaluates the workload at the given chip counts and marks
 // the latency/energy Pareto front.
 func Frontier(base core.System, wl core.Workload, chips []int) ([]Point, error) {
-	reports, err := evalpool.Eval(base, wl, chips)
+	pts := make([]evalpool.Point, len(chips))
+	for i, n := range chips {
+		sys := base
+		sys.Chips = n
+		pts[i] = evalpool.Point{System: sys, Workload: wl}
+	}
+	reports, pareto, err := gridEval(pts)
 	if err != nil {
-		return nil, fmt.Errorf("explore: %w", err)
+		return nil, err
 	}
 	points := make([]Point, len(chips))
 	for i, rep := range reports {
-		points[i] = Point{Chips: chips[i], Report: rep}
+		points[i] = Point{Chips: chips[i], Report: rep, Pareto: pareto[i]}
 	}
-	markPareto(points)
 	return points, nil
 }
 
@@ -255,16 +272,14 @@ func TopologyFrontier(base core.System, wl core.Workload, chips []int) ([]Topolo
 			out = append(out, TopologyPoint{Topology: topo, Chips: n})
 		}
 	}
-	reports, err := evalpool.Map(points)
+	reports, pareto, err := gridEval(points)
 	if err != nil {
-		return nil, fmt.Errorf("explore: %w", err)
+		return nil, err
 	}
 	for i, rep := range reports {
 		out[i].Report = rep
 		out[i].C2CCyclesByClass = classCycles(rep)
-	}
-	for i, p := range paretoMask(reports) {
-		out[i].Pareto = p
+		out[i].Pareto = pareto[i]
 	}
 	return out, nil
 }
@@ -308,16 +323,14 @@ func NetworkFrontier(base core.System, wl core.Workload, chips []int, nets []hw.
 			}
 		}
 	}
-	reports, err := evalpool.Map(points)
+	reports, pareto, err := gridEval(points)
 	if err != nil {
-		return nil, fmt.Errorf("explore: %w", err)
+		return nil, err
 	}
 	for i, rep := range reports {
 		out[i].Report = rep
 		out[i].C2CCyclesByClass = classCycles(rep)
-	}
-	for i, p := range paretoMask(reports) {
-		out[i].Pareto = p
+		out[i].Pareto = pareto[i]
 	}
 	return out, nil
 }

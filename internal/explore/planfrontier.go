@@ -1,0 +1,360 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mcudist/internal/collective"
+	"mcudist/internal/core"
+	"mcudist/internal/evalpool"
+	"mcudist/internal/hw"
+	"mcudist/internal/model"
+)
+
+// This file is the surrogate-first face of the frontier family:
+// Frontier, TopologyFrontier, and NetworkFrontier price every grid
+// cell with exact simulations, which is the right tool for the chip ×
+// topology × network axes (each cell is one simulation) but not for
+// the collective-plan axis, whose joint grid multiplies every cell by
+// topologies^classes (256 session plans for the tensor-parallel
+// scheme). PlanFrontier and PlanBudgetFit fold that axis in by
+// fitting the shared Surrogate once per (network, chip-count) cell —
+// ~20 probe simulations — predicting all candidates, and exactly
+// verifying only the predicted Pareto edge, the predicted top-K, and
+// the uniform baselines. Exact simulation remains the ground truth:
+// every returned point is exactly evaluated, and predictions only
+// decide what is worth verifying.
+
+// PlanFrontierOptions tunes PlanFrontier.
+type PlanFrontierOptions struct {
+	// Networks is the optional network-profile axis; empty scans only
+	// the base system's network.
+	Networks []hw.Network
+	// TopK is the number of predicted-best candidates verified exactly
+	// per grid cell, on each objective (0 selects DefaultSessionTopK).
+	// The predicted Pareto edge and the uniform plans are always
+	// verified in addition.
+	TopK int
+	// Exhaustive disables the surrogate and evaluates every joint plan
+	// exactly, as deployed — the ground-truth reference the
+	// equivalence tests hold the surrogate-first scan to. It costs
+	// GridSims simulations.
+	Exhaustive bool
+	// PromptSeqLen / DecodeSeqLen override the session's two phase
+	// sequence lengths (0 selects the paper's values).
+	PromptSeqLen int
+	DecodeSeqLen int
+}
+
+// PlanPoint is one exactly-verified (network, chip count, plan)
+// candidate of a plan-aware frontier scan.
+type PlanPoint struct {
+	Network hw.Network
+	Chips   int
+	VerifiedPlan
+	// Pareto marks session latency/energy Pareto-optimal points within
+	// the verified union.
+	Pareto bool
+}
+
+// PlanFrontierResult is the outcome of a surrogate-first plan
+// frontier scan.
+type PlanFrontierResult struct {
+	// Points lists the exactly-verified candidates grouped by network
+	// in input order, then chip count ascending, then candidate in
+	// enumeration order; the Pareto marks span the whole union.
+	Points []PlanPoint
+	// Candidates is the full plan-grid size across all cells; GridSims
+	// is the exact-simulation bill of enumerating it exhaustively as
+	// deployed; ExactSims is the number of distinct exact evaluations
+	// this scan needed (the evalpool memory-miss delta — disk-served
+	// evaluations count, so the number is identical cold and warm).
+	Candidates int
+	GridSims   int
+	ExactSims  int
+}
+
+// planCell runs one (network, chip count) cell of the scan and
+// returns its verified candidates in enumeration order.
+func planCell(sys core.System, cfg model.Config, opts PlanFrontierOptions) ([]VerifiedPlan, int, error) {
+	sopts := SessionOptions{PromptSeqLen: opts.PromptSeqLen, DecodeSeqLen: opts.DecodeSeqLen}
+	if opts.Exhaustive {
+		modes, union, err := sessionModes(sys, cfg, sopts)
+		if err != nil {
+			return nil, 0, err
+		}
+		cands := enumerateSession(union, hw.Topologies())
+		exact, modeReports, err := sessionExhaustive(sys, modes, cands)
+		if err != nil {
+			return nil, 0, err
+		}
+		out := make([]VerifiedPlan, len(cands))
+		for i, c := range cands {
+			reps := modeReports[i]
+			vp := VerifiedPlan{
+				Plan:            c.plan,
+				Cycles:          exact[i],
+				PredictedCycles: exact[i],
+				PrefillReport:   reps[0],
+				DecodeReport:    reps[len(reps)-1],
+			}
+			for _, rep := range reps {
+				vp.Seconds += rep.Seconds
+				vp.Joules += rep.Energy.Total()
+			}
+			vp.PredictedJoules = vp.Joules
+			out[i] = vp
+		}
+		return out, len(cands), nil
+	}
+
+	s, err := FitSurrogate(sys, cfg, sopts)
+	if err != nil {
+		return nil, 0, err
+	}
+	cands := s.Candidates()
+	predS := make([]float64, len(cands))
+	predJ := make([]float64, len(cands))
+	for i, p := range cands {
+		predS[i] = s.PredictSeconds(p)
+		predJ[i] = s.PredictJoules(p)
+	}
+
+	topK := opts.TopK
+	if topK <= 0 {
+		topK = DefaultSessionTopK
+	}
+	pick := map[int]bool{}
+	// Seed the verification set: the predicted top-K on each
+	// objective, plus the uniform plans — whose phase points are the
+	// surrogate's own probes, so they verify without new simulations
+	// and keep the scan honest against every single-topology baseline.
+	for _, pred := range [][]float64{predS, predJ} {
+		order := make([]int, len(cands))
+		for i := range order {
+			order[i] = i
+		}
+		p := pred
+		sort.SliceStable(order, func(x, y int) bool { return p[order[x]] < p[order[y]] })
+		for k := 0; k < topK && k < len(order); k++ {
+			pick[order[k]] = true
+		}
+	}
+	nTopos := len(hw.Topologies())
+	for ti := 0; ti < nTopos; ti++ {
+		pick[allSameIndex(ti, len(s.union), nTopos)] = true
+	}
+
+	verify := func(sel []int) ([]VerifiedPlan, error) {
+		plans := make([]collective.Plan, len(sel))
+		for j, i := range sel {
+			plans[j] = cands[i]
+		}
+		return s.Verify(sys, plans)
+	}
+	sel := make([]int, 0, len(pick))
+	for i := range cands {
+		if pick[i] {
+			sel = append(sel, i)
+		}
+	}
+	verified, err := verify(sel)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Refine to the exact Pareto edge: the additive prediction misses
+	// within-phase interactions, so near-ties can hide true front
+	// members. Bound the model's error by twice the largest residual
+	// observed on the verified points, and exactly verify every
+	// candidate whose optimistic corner (prediction minus that bound)
+	// is not dominated by an already-verified exact point — if its
+	// prediction can still reach the front, it gets measured. Repeat
+	// until the band is empty; each verified point also tightens what
+	// "can still reach" means. The phase-restricted verification
+	// spellings share simulations heavily (topologies^per-phase-classes
+	// distinct points per phase in the worst case), so even a
+	// degenerate band stays far below the as-deployed grid bill.
+	for {
+		var errS, errJ float64
+		for k, vp := range verified {
+			if d := math.Abs(predS[sel[k]] - vp.Seconds); d > errS {
+				errS = d
+			}
+			if d := math.Abs(predJ[sel[k]] - vp.Joules); d > errJ {
+				errJ = d
+			}
+		}
+		errS *= 2
+		errJ *= 2
+		var band []int
+		for i := range cands {
+			if pick[i] {
+				continue
+			}
+			cornerS, cornerJ := predS[i]-errS, predJ[i]-errJ
+			dominated := false
+			for _, vp := range verified {
+				if (vp.Seconds < cornerS && vp.Joules <= cornerJ) ||
+					(vp.Seconds <= cornerS && vp.Joules < cornerJ) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				band = append(band, i)
+			}
+		}
+		if len(band) == 0 {
+			break
+		}
+		more, err := verify(band)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, i := range band {
+			pick[i] = true
+		}
+		sel = append(sel, band...)
+		verified = append(verified, more...)
+	}
+
+	// Return in candidate enumeration order, so output is independent
+	// of the refinement's round structure.
+	order := make([]int, len(sel))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return sel[order[a]] < sel[order[b]] })
+	out := make([]VerifiedPlan, len(order))
+	for j, k := range order {
+		out[j] = verified[k]
+	}
+	return out, len(cands), nil
+}
+
+// PlanFrontier scans the collective-plan axis jointly with the chip
+// count (and optionally the network profile): per (network, chips)
+// cell it fits the shared Surrogate, predicts the whole joint plan
+// grid on both session objectives, and exactly verifies the predicted
+// Pareto edge, the per-objective top-K, and the uniform baselines.
+// The returned points are all exactly evaluated, with the session
+// latency/energy Pareto front marked across the verified union — on
+// the pinned operating points the equivalence tests hold that front
+// identical to exhaustive enumeration at a fraction of the
+// simulations (ExactSims vs GridSims).
+func PlanFrontier(base core.System, cfg model.Config, chips []int, opts PlanFrontierOptions) (*PlanFrontierResult, error) {
+	evalsBefore := evalpool.Evaluations()
+	nets := opts.Networks
+	if len(nets) == 0 {
+		nets = []hw.Network{base.HW.Network}
+	}
+	res := &PlanFrontierResult{}
+	for _, net := range nets {
+		for _, n := range chips {
+			sys := base
+			sys.HW.Network = net
+			sys.Chips = n
+			verified, cells, err := planCell(sys, cfg, opts)
+			if err != nil {
+				return nil, fmt.Errorf("explore: plan frontier (%s, %d chips): %w", net, n, err)
+			}
+			res.Candidates += cells
+			for _, vp := range verified {
+				res.Points = append(res.Points, PlanPoint{Network: net, Chips: n, VerifiedPlan: vp})
+			}
+		}
+	}
+	res.GridSims = 2 * res.Candidates
+	// Session-level Pareto over the verified union.
+	secs := make([]float64, len(res.Points))
+	jls := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		secs[i], jls[i] = p.Seconds, p.Joules
+	}
+	for i, pareto := range sessionParetoMask(secs, jls) {
+		res.Points[i].Pareto = pareto
+	}
+	res.ExactSims = int(evalpool.Evaluations() - evalsBefore)
+	return res, nil
+}
+
+// sessionParetoMask is paretoMask over explicit (seconds, joules)
+// session objectives (frontier reports carry one phase each; a
+// session point aggregates two).
+func sessionParetoMask(secs, jls []float64) []bool {
+	pareto := make([]bool, len(secs))
+	order := make([]int, len(secs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if secs[order[a]] != secs[order[b]] {
+			return secs[order[a]] < secs[order[b]]
+		}
+		return jls[order[a]] < jls[order[b]]
+	})
+	bestEnergy := math.Inf(1)
+	for g := 0; g < len(order); {
+		sec := secs[order[g]]
+		end := g
+		groupMin := math.Inf(1)
+		for ; end < len(order) && secs[order[end]] == sec; end++ {
+			if e := jls[order[end]]; e < groupMin {
+				groupMin = e
+			}
+		}
+		for ; g < end; g++ {
+			e := jls[order[g]]
+			pareto[order[g]] = bestEnergy > e && groupMin >= e
+		}
+		if groupMin < bestEnergy {
+			bestEnergy = groupMin
+		}
+	}
+	return pareto
+}
+
+// PlanBudgetFit is BudgetFit rewired onto the surrogate: it returns
+// the fewest-chip configuration whose tuned collective plan meets
+// both a session latency and a session energy budget. Chip counts are
+// scanned ascending with early exit — an answer at a small count
+// never pays for the large ones — and per count the surrogate
+// predicts the plan grid and only the predicted-best candidates (plus
+// the uniform baselines) are verified; the budget decision is always
+// made on exact numbers.
+func PlanBudgetFit(base core.System, cfg model.Config, maxChips int, maxSeconds, maxJoules float64, opts PlanFrontierOptions) (*PlanPoint, error) {
+	counts := LegalChipCounts(cfg, maxChips)
+	bestLatency, bestEnergy := math.Inf(1), math.Inf(1)
+	for _, n := range counts {
+		sys := base
+		sys.Chips = n
+		verified, _, err := planCell(sys, cfg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("explore: plan budget fit (%d chips): %w", n, err)
+		}
+		best := -1
+		for i, vp := range verified {
+			if vp.Seconds < bestLatency {
+				bestLatency = vp.Seconds
+			}
+			if vp.Joules < bestEnergy {
+				bestEnergy = vp.Joules
+			}
+			if vp.Seconds > maxSeconds || vp.Joules > maxJoules {
+				continue
+			}
+			if best < 0 || vp.Cycles < verified[best].Cycles {
+				best = i
+			}
+		}
+		if best >= 0 {
+			return &PlanPoint{Network: base.HW.Network, Chips: n, VerifiedPlan: verified[best]}, nil
+		}
+	}
+	if bestLatency > maxSeconds {
+		return nil, fmt.Errorf("explore: session latency budget %.3g s unreachable with a tuned plan (best %.3g s)", maxSeconds, bestLatency)
+	}
+	return nil, fmt.Errorf("explore: session energy budget %.3g J unreachable with a tuned plan (best %.3g J)", maxJoules, bestEnergy)
+}

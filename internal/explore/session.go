@@ -19,13 +19,13 @@ import (
 // simulations, so exhaustive enumeration runs ~2·4^4 exact simulations
 // per operating point — and multiplies again under a network-profile
 // axis. AutotuneSession makes that tractable with a predict-then-verify
-// structure: a per-class cost decomposition built from one probe
-// simulation per (class, topology) predicts every candidate's session
-// cost additively in microseconds, and only the predicted top-K
-// candidates (plus the four uniform sessions, which the margin needs
-// anyway) are verified with exact simulations. The exact simulator
-// stays the ground truth: the winner is always chosen on verified
-// cycles, never on predictions.
+// structure: the shared Surrogate (surrogate.go) — a per-class cost
+// decomposition built from one probe simulation per (class, topology) —
+// predicts every candidate's session cost additively in microseconds,
+// and only the predicted top-K candidates (plus the four uniform
+// sessions, which the margin needs anyway) are verified with exact
+// simulations. The exact simulator stays the ground truth: the winner
+// is always chosen on verified cycles, never on predictions.
 
 // DefaultSessionTopK is the number of predicted-best candidates
 // AutotuneSession verifies exactly when SessionOptions.TopK is zero.
@@ -113,10 +113,12 @@ type SessionResult struct {
 	RankAccuracy float64
 	// Candidates is the size of the joint class × topology grid;
 	// GridSims = 2 × Candidates is the exact-simulation bill of
-	// enumerating it exhaustively; ExactSims is the number of
-	// simulations this call actually ran (measured as the evalpool
-	// cache-miss delta, so points already memoized — shared probes,
-	// repeated calls — are not double-billed).
+	// enumerating it exhaustively; ExactSims is the number of distinct
+	// exact evaluations this call needed (measured as the evalpool
+	// memory-miss delta, so points already memoized — shared probes,
+	// repeated calls — are not double-billed, and evaluations answered
+	// by a warm persistent store still count: the search cost is a
+	// property of the search, not of where the reports were stored).
 	Candidates int
 	GridSims   int
 	ExactSims  int
@@ -266,18 +268,13 @@ func enumerateSession(union []collective.SyncClass, topos []hw.Topology) []sessi
 // fraction of the simulations (ExactSims vs GridSims on the result).
 // Set the returned Plan on System.Options.SyncPlan to deploy it.
 func AutotuneSession(base core.System, cfg model.Config, opts SessionOptions) (*SessionResult, error) {
-	simsBefore := evalpool.Simulations()
+	evalsBefore := evalpool.Evaluations()
 	modes, union, err := sessionModes(base, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
 	topos := hw.Topologies()
-	refIdx := -1
-	for i, t := range topos {
-		if t == base.HW.Topology {
-			refIdx = i
-		}
-	}
+	refIdx := topoIndex(topos, base.HW.Topology)
 	if refIdx < 0 {
 		return nil, fmt.Errorf("explore: %s is not a supported topology", base.HW.Topology)
 	}
@@ -302,14 +299,14 @@ func AutotuneSession(base core.System, cfg model.Config, opts SessionOptions) (*
 			verifyOrder = append(verifyOrder, i)
 		}
 	} else {
-		pred, err := newSessionPredictor(base, modes, union, topos, refIdx)
+		pred, err := fitSurrogate(base, modes, union, topos, refIdx)
 		if err != nil {
 			return nil, err
 		}
 		res.Costs = pred.costs
 		predicted = make([]float64, len(cands))
 		for i, c := range cands {
-			predicted[i] = pred.predict(c.idx)
+			predicted[i] = pred.predictCycles(c.idx)
 		}
 		// Rank by predicted cost; ties keep enumeration order.
 		order := make([]int, len(cands))
@@ -396,7 +393,7 @@ func AutotuneSession(base core.System, cfg model.Config, opts SessionOptions) (*
 	res.BestUniform = topos[uniBest]
 	res.UniformCycles = exact[allSameIndex(uniBest, len(union), len(topos))]
 	res.Margin = res.UniformCycles / res.Cycles
-	res.ExactSims = int(evalpool.Simulations() - simsBefore)
+	res.ExactSims = int(evalpool.Evaluations() - evalsBefore)
 	return res, nil
 }
 
@@ -410,119 +407,6 @@ func allSameIndex(ti, classes, topos int) int {
 		place *= topos
 	}
 	return idx
-}
-
-// sessionPredictor is the additive per-class cost model: per phase, an
-// all-reference baseline plus one measured delta per (class, topology).
-type sessionPredictor struct {
-	modes []sessionMode
-	pos   map[collective.SyncClass]int         // union class -> candidate index position
-	base  []float64                            // per-phase all-reference cycles
-	delta []map[collective.SyncClass][]float64 // per phase: class -> per-topology delta
-	costs []ClassCost
-}
-
-// newSessionPredictor runs the probe simulations — the four uniform
-// sessions (needed for the margin baseline anyway) and one
-// single-deviation probe per (phase, class, non-reference topology) —
-// and assembles the cost vector. The single-deviation probes make the
-// additive model exact whenever at most one class per phase leaves the
-// reference topology; the residual error is the within-phase
-// interaction between simultaneously rebound classes, which the exact
-// verification pass absorbs.
-func newSessionPredictor(base core.System, modes []sessionMode, union []collective.SyncClass, topos []hw.Topology, refIdx int) (*sessionPredictor, error) {
-	ref := topos[refIdx]
-	ev := newSessionEval()
-	uniform := make([][]int, len(modes))
-	type probeRef struct {
-		mode  int
-		class collective.SyncClass
-		topo  int
-		point int
-	}
-	var probes []probeRef
-	for mi, m := range modes {
-		uniform[mi] = make([]int, len(topos))
-		for ti, t := range topos {
-			tt := t
-			uniform[mi][ti] = ev.add(sessionModePoint(base, m, func(collective.SyncClass) hw.Topology { return tt }))
-		}
-		for _, c := range m.classes {
-			for ti, t := range topos {
-				if ti == refIdx {
-					continue
-				}
-				cc, tt := c, t
-				pt := ev.add(sessionModePoint(base, m, func(x collective.SyncClass) hw.Topology {
-					if x == cc {
-						return tt
-					}
-					return ref
-				}))
-				probes = append(probes, probeRef{mode: mi, class: c, topo: ti, point: pt})
-			}
-		}
-	}
-	reports, err := evalpool.Map(ev.points)
-	if err != nil {
-		return nil, fmt.Errorf("explore: session probes: %w", err)
-	}
-	p := &sessionPredictor{
-		modes: modes,
-		pos:   make(map[collective.SyncClass]int, len(union)),
-		base:  make([]float64, len(modes)),
-		delta: make([]map[collective.SyncClass][]float64, len(modes)),
-	}
-	for i, c := range union {
-		p.pos[c] = i
-	}
-	classC2C := func(rep *core.Report, c collective.SyncClass) float64 {
-		for _, cs := range rep.ByClass {
-			if cs.Class == c {
-				return cs.C2CCycles
-			}
-		}
-		return 0
-	}
-	for mi, m := range modes {
-		p.base[mi] = reports[uniform[mi][refIdx]].Cycles
-		p.delta[mi] = map[collective.SyncClass][]float64{}
-		for _, c := range m.classes {
-			p.delta[mi][c] = make([]float64, len(topos))
-			p.costs = append(p.costs, ClassCost{
-				Mode:      m.wl.Mode,
-				Class:     c,
-				Topology:  ref,
-				C2CCycles: classC2C(reports[uniform[mi][refIdx]], c),
-			})
-		}
-	}
-	for _, pr := range probes {
-		rep := reports[pr.point]
-		p.delta[pr.mode][pr.class][pr.topo] = rep.Cycles - p.base[pr.mode]
-		p.costs = append(p.costs, ClassCost{
-			Mode:        modes[pr.mode].wl.Mode,
-			Class:       pr.class,
-			Topology:    topos[pr.topo],
-			DeltaCycles: rep.Cycles - p.base[pr.mode],
-			C2CCycles:   classC2C(rep, pr.class),
-		})
-	}
-	return p, nil
-}
-
-// predict composes a candidate's session cost from the per-class
-// deltas — a few additions, no simulation.
-func (p *sessionPredictor) predict(idx []int) float64 {
-	total := 0.0
-	for mi, m := range p.modes {
-		cycles := p.base[mi]
-		for _, c := range m.classes {
-			cycles += p.delta[mi][c][idx[p.pos[c]]]
-		}
-		total += cycles
-	}
-	return total
 }
 
 // sessionVerify evaluates the selected candidates exactly, one

@@ -1,0 +1,327 @@
+package explore
+
+import (
+	"fmt"
+
+	"mcudist/internal/collective"
+	"mcudist/internal/core"
+	"mcudist/internal/evalpool"
+	"mcudist/internal/hw"
+	"mcudist/internal/model"
+)
+
+// Surrogate is the per-class additive cost model behind every
+// surrogate-first search in this package, extracted from
+// AutotuneSession (where PR 5 proved the structure: 20 probe
+// simulations steer a 512-simulation grid to the provably identical
+// winner). Fitting runs one probe simulation per (phase, class,
+// topology) — the four uniform sessions plus every single-deviation
+// binding — and the fitted model predicts any joint plan's session
+// cycles and energy by composing the measured deltas additively, in
+// microseconds instead of simulations. Predictions only ever decide
+// what to verify: every consumer (AutotuneSession, PlanFrontier,
+// PlanBudgetFit) re-evaluates its predicted winners exactly and
+// decides on exact numbers.
+//
+// The single-deviation probes make the prediction exact whenever at
+// most one class per phase leaves the reference topology; the residual
+// is the within-phase interaction of simultaneously rebound classes,
+// which the verification pass absorbs. All probe points flow through
+// the shared evalpool tiers, so a store-backed process fits the
+// surrogate without simulating at all.
+type Surrogate struct {
+	modes  []sessionMode
+	union  []collective.SyncClass
+	topos  []hw.Topology
+	refIdx int
+	pos    map[collective.SyncClass]int // union class -> candidate index position
+
+	// Per-phase all-reference baselines and per (phase, class,
+	// topology) measured deltas, for both objectives. The energy model
+	// reads the same probe reports the cycle model does — the second
+	// objective is free.
+	baseCycles  []float64
+	baseSecs    []float64
+	baseJoules  []float64
+	deltaCycles []map[collective.SyncClass][]float64
+	deltaSecs   []map[collective.SyncClass][]float64
+	deltaJoules []map[collective.SyncClass][]float64
+
+	costs []ClassCost
+}
+
+// topoIndex locates t in topos, or -1.
+func topoIndex(topos []hw.Topology, t hw.Topology) int {
+	for i, tt := range topos {
+		if tt == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// FitSurrogate fits the additive session cost model for the base
+// system's chip count and network: one whole-session probe per
+// (phase, class, topology), cycles and energy both. The base system's
+// run topology is the reference the deltas are measured against.
+func FitSurrogate(base core.System, cfg model.Config, opts SessionOptions) (*Surrogate, error) {
+	modes, union, err := sessionModes(base, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	topos := hw.Topologies()
+	refIdx := topoIndex(topos, base.HW.Topology)
+	if refIdx < 0 {
+		return nil, fmt.Errorf("explore: %s is not a supported topology", base.HW.Topology)
+	}
+	return fitSurrogate(base, modes, union, topos, refIdx)
+}
+
+// fitSurrogate runs the probe simulations — the uniform sessions (the
+// margin baselines need them anyway) and one single-deviation probe
+// per (phase, class, non-reference topology) — and assembles the
+// model.
+func fitSurrogate(base core.System, modes []sessionMode, union []collective.SyncClass, topos []hw.Topology, refIdx int) (*Surrogate, error) {
+	ref := topos[refIdx]
+	ev := newSessionEval()
+	uniform := make([][]int, len(modes))
+	type probeRef struct {
+		mode  int
+		class collective.SyncClass
+		topo  int
+		point int
+	}
+	var probes []probeRef
+	for mi, m := range modes {
+		uniform[mi] = make([]int, len(topos))
+		for ti, t := range topos {
+			tt := t
+			uniform[mi][ti] = ev.add(sessionModePoint(base, m, func(collective.SyncClass) hw.Topology { return tt }))
+		}
+		for _, c := range m.classes {
+			for ti, t := range topos {
+				if ti == refIdx {
+					continue
+				}
+				cc, tt := c, t
+				pt := ev.add(sessionModePoint(base, m, func(x collective.SyncClass) hw.Topology {
+					if x == cc {
+						return tt
+					}
+					return ref
+				}))
+				probes = append(probes, probeRef{mode: mi, class: c, topo: ti, point: pt})
+			}
+		}
+	}
+	reports, err := evalpool.Map(ev.points)
+	if err != nil {
+		return nil, fmt.Errorf("explore: surrogate probes: %w", err)
+	}
+	s := &Surrogate{
+		modes:       modes,
+		union:       union,
+		topos:       topos,
+		refIdx:      refIdx,
+		pos:         make(map[collective.SyncClass]int, len(union)),
+		baseCycles:  make([]float64, len(modes)),
+		baseSecs:    make([]float64, len(modes)),
+		baseJoules:  make([]float64, len(modes)),
+		deltaCycles: make([]map[collective.SyncClass][]float64, len(modes)),
+		deltaSecs:   make([]map[collective.SyncClass][]float64, len(modes)),
+		deltaJoules: make([]map[collective.SyncClass][]float64, len(modes)),
+	}
+	for i, c := range union {
+		s.pos[c] = i
+	}
+	classC2C := func(rep *core.Report, c collective.SyncClass) float64 {
+		for _, cs := range rep.ByClass {
+			if cs.Class == c {
+				return cs.C2CCycles
+			}
+		}
+		return 0
+	}
+	for mi, m := range modes {
+		s.baseCycles[mi] = reports[uniform[mi][refIdx]].Cycles
+		s.baseSecs[mi] = reports[uniform[mi][refIdx]].Seconds
+		s.baseJoules[mi] = reports[uniform[mi][refIdx]].Energy.Total()
+		s.deltaCycles[mi] = map[collective.SyncClass][]float64{}
+		s.deltaSecs[mi] = map[collective.SyncClass][]float64{}
+		s.deltaJoules[mi] = map[collective.SyncClass][]float64{}
+		for _, c := range m.classes {
+			s.deltaCycles[mi][c] = make([]float64, len(topos))
+			s.deltaSecs[mi][c] = make([]float64, len(topos))
+			s.deltaJoules[mi][c] = make([]float64, len(topos))
+			s.costs = append(s.costs, ClassCost{
+				Mode:      m.wl.Mode,
+				Class:     c,
+				Topology:  ref,
+				C2CCycles: classC2C(reports[uniform[mi][refIdx]], c),
+			})
+		}
+	}
+	for _, pr := range probes {
+		rep := reports[pr.point]
+		s.deltaCycles[pr.mode][pr.class][pr.topo] = rep.Cycles - s.baseCycles[pr.mode]
+		s.deltaSecs[pr.mode][pr.class][pr.topo] = rep.Seconds - s.baseSecs[pr.mode]
+		s.deltaJoules[pr.mode][pr.class][pr.topo] = rep.Energy.Total() - s.baseJoules[pr.mode]
+		s.costs = append(s.costs, ClassCost{
+			Mode:        modes[pr.mode].wl.Mode,
+			Class:       pr.class,
+			Topology:    s.topos[pr.topo],
+			DeltaCycles: rep.Cycles - s.baseCycles[pr.mode],
+			C2CCycles:   classC2C(rep, pr.class),
+		})
+	}
+	return s, nil
+}
+
+// Classes returns the session's joint plan axis: the ordered union of
+// both phases' active synchronization classes.
+func (s *Surrogate) Classes() []collective.SyncClass {
+	return append([]collective.SyncClass(nil), s.union...)
+}
+
+// Reference returns the topology the deltas are measured against (the
+// fitted system's run topology).
+func (s *Surrogate) Reference() hw.Topology { return s.topos[s.refIdx] }
+
+// Costs returns the fitted per-class cost vector — the decomposition
+// behind every prediction, reportable as a table.
+func (s *Surrogate) Costs() []ClassCost {
+	return append([]ClassCost(nil), s.costs...)
+}
+
+// Candidates enumerates the full joint class × topology grid as bound
+// plans, in the canonical odometer order (first union class cycling
+// fastest) every search in this package shares, so ties resolve
+// identically everywhere.
+func (s *Surrogate) Candidates() []collective.Plan {
+	cands := enumerateSession(s.union, s.topos)
+	out := make([]collective.Plan, len(cands))
+	for i, c := range cands {
+		out[i] = c.plan
+	}
+	return out
+}
+
+// planIdx resolves a plan to per-union-class topology indices;
+// unbound classes resolve to the reference topology.
+func (s *Surrogate) planIdx(p collective.Plan) []int {
+	idx := make([]int, len(s.union))
+	for i, c := range s.union {
+		idx[i] = topoIndex(s.topos, p.Topology(c, s.topos[s.refIdx]))
+	}
+	return idx
+}
+
+// PredictCycles predicts the plan's whole-session cycle cost (prompt
+// prefill plus one decode step) from the fitted deltas — a few
+// additions, no simulation.
+func (s *Surrogate) PredictCycles(p collective.Plan) float64 {
+	return s.predictCycles(s.planIdx(p))
+}
+
+// PredictSeconds predicts the plan's whole-session wall time the same
+// way (seconds are fitted from the probe reports directly, so clock
+// differences between phases need no assumptions).
+func (s *Surrogate) PredictSeconds(p collective.Plan) float64 {
+	return s.predictSeconds(s.planIdx(p))
+}
+
+// PredictJoules predicts the plan's whole-session energy the same
+// way.
+func (s *Surrogate) PredictJoules(p collective.Plan) float64 {
+	return s.predictJoules(s.planIdx(p))
+}
+
+func (s *Surrogate) predictCycles(idx []int) float64 {
+	total := 0.0
+	for mi, m := range s.modes {
+		cycles := s.baseCycles[mi]
+		for _, c := range m.classes {
+			cycles += s.deltaCycles[mi][c][idx[s.pos[c]]]
+		}
+		total += cycles
+	}
+	return total
+}
+
+func (s *Surrogate) predictSeconds(idx []int) float64 {
+	total := 0.0
+	for mi, m := range s.modes {
+		secs := s.baseSecs[mi]
+		for _, c := range m.classes {
+			secs += s.deltaSecs[mi][c][idx[s.pos[c]]]
+		}
+		total += secs
+	}
+	return total
+}
+
+func (s *Surrogate) predictJoules(idx []int) float64 {
+	total := 0.0
+	for mi, m := range s.modes {
+		joules := s.baseJoules[mi]
+		for _, c := range m.classes {
+			joules += s.deltaJoules[mi][c][idx[s.pos[c]]]
+		}
+		total += joules
+	}
+	return total
+}
+
+// Verify evaluates the given plans exactly — one phase-restricted
+// point per phase, so probe and uniform configurations are served
+// from the cache tiers — and returns one VerifiedPlan per input, in
+// input order.
+func (s *Surrogate) Verify(base core.System, plans []collective.Plan) ([]VerifiedPlan, error) {
+	cands := make([]sessionCand, len(plans))
+	sel := make([]int, len(plans))
+	for i, p := range plans {
+		cands[i] = sessionCand{idx: s.planIdx(p), plan: p}
+		sel[i] = i
+	}
+	exact, modeReports, err := sessionVerify(base, s.modes, cands, sel)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]VerifiedPlan, len(plans))
+	for i, p := range plans {
+		reps := modeReports[i]
+		vp := VerifiedPlan{
+			Plan:             p,
+			PredictedCycles:  s.predictCycles(cands[i].idx),
+			PredictedSeconds: s.predictSeconds(cands[i].idx),
+			PredictedJoules:  s.predictJoules(cands[i].idx),
+			Cycles:           exact[i],
+			PrefillReport:    reps[0],
+			DecodeReport:     reps[len(reps)-1],
+		}
+		for _, rep := range reps {
+			vp.Seconds += rep.Seconds
+			vp.Joules += rep.Energy.Total()
+		}
+		out[i] = vp
+	}
+	return out, nil
+}
+
+// VerifiedPlan is one exactly-evaluated joint plan next to what the
+// surrogate predicted for it.
+type VerifiedPlan struct {
+	Plan             collective.Plan
+	PredictedCycles  float64
+	PredictedSeconds float64
+	PredictedJoules  float64
+	// Cycles / Seconds / Joules are the exact whole-session costs
+	// (prompt prefill plus one decode step).
+	Cycles  float64
+	Seconds float64
+	Joules  float64
+	// PrefillReport / DecodeReport are the two exact phase
+	// evaluations.
+	PrefillReport *core.Report
+	DecodeReport  *core.Report
+}

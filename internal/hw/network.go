@@ -252,6 +252,24 @@ func lookupTable(digest string) map[Edge]LinkClass {
 	return tableReg[digest]
 }
 
+// TableEdges returns a copy of the per-edge table registered under
+// digest, or ok=false if no table with that digest is registered in
+// this process. The persistent result store uses it to write table
+// wirings next to the reports that reference them, so a cold process
+// can re-register the table (through TableNetwork, which reproduces
+// the same content digest) before serving cached table-backed runs.
+func TableEdges(digest string) (map[Edge]LinkClass, bool) {
+	table := lookupTable(digest)
+	if table == nil {
+		return nil, false
+	}
+	cp := make(map[Edge]LinkClass, len(table))
+	for e, c := range table {
+		cp[e] = c
+	}
+	return cp, true
+}
+
 // LinkFor resolves the class of the directed edge from->to. An edge a
 // network does not define — a table edge that was never registered, or
 // an unwired chip pair — returns an error; schedule lowering surfaces

@@ -1,0 +1,412 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"mcudist/internal/core"
+	"mcudist/internal/hw"
+	"mcudist/internal/model"
+)
+
+func testPoint(chips int) (core.System, core.Workload) {
+	return core.DefaultSystem(chips),
+		core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}
+}
+
+func mustRun(t *testing.T, sys core.System, wl core.Workload) *core.Report {
+	t.Helper()
+	rep, err := core.Run(sys, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func logPath(dir string) string {
+	return filepath.Join(dir, "results-v1.log")
+}
+
+// A persisted report must round-trip exactly: every field the
+// simulator computed — floats included — comes back bit-identical, so
+// warm runs print byte-identical output.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, wl := testPoint(4)
+	rep := mustRun(t, sys, wl)
+	if err := s.Append(sys, wl, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load(sys, wl)
+	if !ok {
+		t.Fatal("persisted entry missed")
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Errorf("round-trip diverged:\n got %+v\nwant %+v", got, rep)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if s.SizeBytes() <= 0 {
+		t.Error("SizeBytes reported an empty log")
+	}
+
+	// A cold process: a fresh store on the same directory serves the
+	// entry without any simulation.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, ok := s2.Load(sys, wl)
+	if !ok {
+		t.Fatal("reopened store missed the persisted entry")
+	}
+	if !reflect.DeepEqual(got2, rep) {
+		t.Error("reopened store returned a different report")
+	}
+	if s2.Skipped() != 0 {
+		t.Errorf("clean log skipped %d records", s2.Skipped())
+	}
+}
+
+// Distinct configurations must get distinct digests (chips, plan,
+// workload, and mode all participate), equal configurations equal
+// ones, and the digest string must carry its version.
+func TestDigest(t *testing.T) {
+	sys, wl := testPoint(4)
+	if d, d2 := Digest(sys, wl), Digest(sys, wl); d != d2 {
+		t.Errorf("digest not deterministic: %s vs %s", d, d2)
+	}
+	if !strings.HasPrefix(Digest(sys, wl), "v1-") {
+		t.Errorf("digest %q does not carry its version", Digest(sys, wl))
+	}
+	sys8 := sys
+	sys8.Chips = 8
+	if Digest(sys, wl) == Digest(sys8, wl) {
+		t.Error("chip count did not reach the digest")
+	}
+	wlP := wl
+	wlP.Mode = model.Prompt
+	if Digest(sys, wl) == Digest(sys, wlP) {
+		t.Error("mode did not reach the digest")
+	}
+	planned := sys
+	planned.Options.SyncPlan = planned.Options.SyncPlan.With(0, hw.TopoRing)
+	if Digest(sys, wl) == Digest(planned, wl) {
+		t.Error("the collective plan (an unexported binding array) did not reach the digest")
+	}
+}
+
+// A truncated trailing record — a writer killed mid-append — must be
+// skipped on open: earlier entries stay served, the torn one misses
+// and is re-simulated, and nothing is fatal.
+func TestTruncatedTailSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysA, wlA := testPoint(2)
+	sysB, wlB := testPoint(4)
+	if err := s.Append(sysA, wlA, mustRun(t, sysA, wlA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(sysB, wlB, mustRun(t, sysB, wlB)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	raw, err := os.ReadFile(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath(dir), raw[:len(raw)-37], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn log failed to open: %v", err)
+	}
+	if _, ok := s2.Load(sysA, wlA); !ok {
+		t.Error("entry before the torn tail was lost")
+	}
+	if _, ok := s2.Load(sysB, wlB); ok {
+		t.Error("torn entry was served")
+	}
+	if s2.Skipped() != 1 {
+		t.Errorf("skipped %d records, want 1", s2.Skipped())
+	}
+
+	// The store stays appendable after the torn tail: the re-simulated
+	// entry lands after the partial line and both reads still work on a
+	// fresh open (the damaged line stays skipped, not resurrected).
+	if err := s2.Append(sysB, wlB, mustRun(t, sysB, wlB)); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s3.Load(sysB, wlB); !ok {
+		t.Error("re-appended entry after torn tail missed")
+	}
+}
+
+// A corrupt record in the middle of the log — a flipped byte caught by
+// the CRC — is skipped without affecting its neighbors.
+func TestCorruptEntrySkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysA, wlA := testPoint(2)
+	sysB, wlB := testPoint(4)
+	if err := s.Append(sysA, wlA, mustRun(t, sysA, wlA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(sysB, wlB, mustRun(t, sysB, wlB)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	raw, err := os.ReadFile(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one digit inside the first record's report payload without
+	// breaking JSON syntax: corruption the CRC, not the parser, catches.
+	idx := strings.Index(string(raw), `"Cycles":`)
+	if idx < 0 {
+		t.Fatal("no Cycles field in log")
+	}
+	for i := idx + len(`"Cycles":`); ; i++ {
+		if raw[i] >= '1' && raw[i] <= '8' {
+			raw[i]++
+			break
+		}
+	}
+	if err := os.WriteFile(logPath(dir), raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Load(sysA, wlA); ok {
+		t.Error("corrupt entry was served")
+	}
+	if _, ok := s2.Load(sysB, wlB); !ok {
+		t.Error("entry after the corrupt record was lost")
+	}
+	if s2.Skipped() != 1 {
+		t.Errorf("skipped %d records, want 1", s2.Skipped())
+	}
+}
+
+// Records written under another digest version are invalidated
+// wholesale: they are skipped on open and never served.
+func TestDigestVersionMismatchInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, wl := testPoint(2)
+	if err := s.Append(sys, wl, mustRun(t, sys, wl)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	raw, err := os.ReadFile(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.Replace(string(raw), `"v":1`, `"v":0`, 1)
+	if doctored == string(raw) {
+		t.Fatal("no version field found to doctor")
+	}
+	if err := os.WriteFile(logPath(dir), []byte(doctored), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Load(sys, wl); ok {
+		t.Error("entry from a foreign digest version was served")
+	}
+	if s2.Skipped() != 1 {
+		t.Errorf("skipped %d records, want 1", s2.Skipped())
+	}
+}
+
+// Reports on table-backed networks persist their per-edge wiring, so
+// the log is self-contained: reopening re-registers the table (and a
+// table record whose wiring does not reproduce its recorded digest is
+// rejected).
+func TestTableNetworkPersisted(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := map[hw.Edge]hw.LinkClass{}
+	for _, e := range [][2]int{{0, 1}, {1, 0}} {
+		edges[hw.Edge{From: e[0], To: e[1]}] = hw.MIPI()
+	}
+	net, err := hw.TableNetwork(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, wl := testPoint(2)
+	sys.HW.Network = net
+	sys.HW.Topology = hw.TopoRing
+	if err := s.Append(sys, wl, mustRun(t, sys, wl)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"kind":"table"`) ||
+		!strings.Contains(string(raw), net.TableDigest) {
+		t.Fatal("table wiring was not persisted next to the entry")
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Skipped() != 0 {
+		t.Errorf("reopen skipped %d records", s2.Skipped())
+	}
+	if got, ok := s2.Load(sys, wl); !ok || got.Cycles <= 0 {
+		t.Error("table-backed entry missed after reopen")
+	}
+	if _, ok := hw.TableEdges(net.TableDigest); !ok {
+		t.Error("table not registered after reopen")
+	}
+
+	// A table record with a forged digest must be skipped.
+	doctored := strings.Replace(string(raw), net.TableDigest[:8], "deadbeef", 1)
+	dir2 := t.TempDir()
+	if err := os.MkdirAll(dir2, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath(dir2), []byte(doctored), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Skipped() == 0 {
+		t.Error("forged table digest was accepted")
+	}
+}
+
+// Appending the same configuration twice writes one record.
+func TestAppendDeduplicates(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, wl := testPoint(2)
+	rep := mustRun(t, sys, wl)
+	if err := s.Append(sys, wl, rep); err != nil {
+		t.Fatal(err)
+	}
+	size := s.SizeBytes()
+	if err := s.Append(sys, wl, rep); err != nil {
+		t.Fatal(err)
+	}
+	if s.SizeBytes() != size || s.Len() != 1 {
+		t.Errorf("duplicate append grew the log (%d -> %d bytes, %d entries)",
+			size, s.SizeBytes(), s.Len())
+	}
+}
+
+// Two stores on one directory — two processes, in miniature — append
+// concurrently without corrupting the log: a fresh open afterwards
+// indexes every entry and skips nothing.
+func TestConcurrentStores(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := core.Workload{Model: model.TinyLlama42M(), Mode: model.Autoregressive}
+	var wg sync.WaitGroup
+	for i, s := range []*Store{s1, s2} {
+		wg.Add(1)
+		go func(s *Store, off int) {
+			defer wg.Done()
+			for n := 1; n <= 4; n++ {
+				sys := core.DefaultSystem(n)
+				sys.Options.CommTileBytes = 4096 + off // disjoint configs per writer
+				rep, err := core.Run(sys, wl)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.Append(sys, wl, rep); err != nil {
+					t.Error(err)
+				}
+			}
+		}(s, i)
+	}
+	wg.Wait()
+
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 8 {
+		t.Errorf("concurrent appends left %d entries, want 8", s3.Len())
+	}
+	if s3.Skipped() != 0 {
+		t.Errorf("concurrent appends corrupted %d records", s3.Skipped())
+	}
+}
+
+// The log is plain JSON lines: every record parses standalone (the
+// property the corruption handling and external tooling rely on).
+func TestLogIsJSONLines(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, wl := testPoint(2)
+	if err := s.Append(sys, wl, mustRun(t, sys, wl)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(logPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Errorf("line %d is not standalone JSON: %v", i, err)
+		}
+	}
+}

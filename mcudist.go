@@ -29,6 +29,7 @@ import (
 	"mcudist/internal/numeric"
 	"mcudist/internal/partition"
 	"mcudist/internal/perfsim"
+	"mcudist/internal/resultstore"
 	"mcudist/internal/tensor"
 )
 
@@ -91,6 +92,30 @@ type (
 	// per-class cost vector (the measured cycle delta of one
 	// class-to-topology binding).
 	SessionClassCost = explore.ClassCost
+	// Surrogate is the fitted per-class additive session cost model:
+	// a handful of probe simulations, then microsecond predictions of
+	// any joint plan's cycles, seconds, and joules. Predictions only
+	// choose what to verify — every search decides on exact numbers.
+	Surrogate = explore.Surrogate
+	// VerifiedPlan is one exactly-evaluated joint plan next to the
+	// surrogate's predictions for it.
+	VerifiedPlan = explore.VerifiedPlan
+	// PlanFrontierOptions tunes PlanFrontier and PlanBudgetFit (extra
+	// networks, seed size, exhaustive ground-truth mode, sequence
+	// lengths).
+	PlanFrontierOptions = explore.PlanFrontierOptions
+	// PlanFrontierResult is a surrogate-first plan frontier scan: every
+	// verified (network, chips, plan) point, Pareto marks across the
+	// union, and the exact-evaluation bill against the naive grid.
+	PlanFrontierResult = explore.PlanFrontierResult
+	// PlanPoint is one verified point of a plan frontier scan.
+	PlanPoint = explore.PlanPoint
+	// ResultStore is the persistent content-addressed result cache
+	// (see OpenResultStore).
+	ResultStore = resultstore.Store
+	// EvalStats is the evaluation engine's cache-tier counters
+	// (memory hits / disk hits / exact simulations).
+	EvalStats = evalpool.Stats
 )
 
 // Model description API.
@@ -220,6 +245,26 @@ func SetWorkers(n int) { evalpool.SetWorkers(n) }
 // ResetCache drops every memoized report, releasing the memory a
 // long-lived design-space exploration accumulates.
 func ResetCache() { evalpool.ResetCache() }
+
+// OpenResultStore opens (creating if needed) the persistent
+// content-addressed result store in dir — an append-only log of
+// simulation reports keyed by a versioned digest of the exact
+// configuration, shared safely between concurrent processes. Attach
+// it with SetResultStore to make every evaluation in this process
+// consult and fill it.
+func OpenResultStore(dir string) (*ResultStore, error) { return resultstore.Open(dir) }
+
+// SetResultStore attaches a persistent result store as the evaluation
+// engine's second cache tier: every memory miss is looked up in the
+// store before simulating, and every fresh simulation is appended for
+// later processes. nil detaches. The attachment survives SetWorkers.
+func SetResultStore(s *ResultStore) { evalpool.SetStore(s) }
+
+// CacheStats returns the evaluation engine's lifetime cache-tier
+// counters — how many requests the memory memo answered, how many the
+// persistent store answered, and how many exact simulations ran. A
+// fully warm store shows Simulations unchanged across a whole rerun.
+func CacheStats() EvalStats { return evalpool.GetStats() }
 
 // Speedup returns base.Cycles / r.Cycles.
 func Speedup(base, r *Report) float64 { return core.Speedup(base, r) }
@@ -369,6 +414,33 @@ func AutotuneSessionNetworks(base System, cfg Config, opts SessionOptions, nets 
 // DefaultSessionTopK is the number of predicted-best candidates
 // AutotuneSession verifies exactly when SessionOptions.TopK is zero.
 const DefaultSessionTopK = explore.DefaultSessionTopK
+
+// FitSurrogate fits the additive per-class session cost model on the
+// base system's chip count and network from one probe simulation per
+// (phase, class, topology) — the reusable predictor behind
+// AutotuneSession, PlanFrontier, and PlanBudgetFit, exposed for
+// custom searches.
+func FitSurrogate(base System, cfg Config, opts SessionOptions) (*Surrogate, error) {
+	return explore.FitSurrogate(base, cfg, opts)
+}
+
+// PlanFrontier scans the joint plan grid across networks × chip
+// counts surrogate-first: fit a cost model per cell, verify only the
+// plans that could plausibly reach the latency/energy Pareto front,
+// and mark the front across the union on exact numbers. On the pinned
+// operating points the front is identical to exhaustive enumeration
+// at a fraction of the evaluations.
+func PlanFrontier(base System, cfg Config, chips []int, opts PlanFrontierOptions) (*PlanFrontierResult, error) {
+	return explore.PlanFrontier(base, cfg, chips, opts)
+}
+
+// PlanBudgetFit returns the smallest legal chip count whose tuned
+// session plan meets both budgets (either may be +Inf), deciding on
+// exact numbers; the error names the binding constraint when no count
+// fits.
+func PlanBudgetFit(base System, cfg Config, maxChips int, maxSeconds, maxJoules float64, opts PlanFrontierOptions) (*PlanPoint, error) {
+	return explore.PlanBudgetFit(base, cfg, maxChips, maxSeconds, maxJoules, opts)
+}
 
 // MIPI returns the paper's chip-to-chip link class: 0.5 GB/s, 256
 // setup cycles, 100 pJ/B.

@@ -14,8 +14,10 @@ import (
 
 	"mcudist/internal/core"
 	"mcudist/internal/evalpool"
+	"mcudist/internal/eventsim"
 	"mcudist/internal/experiments"
 	"mcudist/internal/explore"
+	"mcudist/internal/fleet"
 	"mcudist/internal/hw"
 	"mcudist/internal/interconnect"
 	"mcudist/internal/model"
@@ -635,4 +637,68 @@ func BenchmarkSurrogateFrontier(b *testing.B) {
 	b.ReportMetric(float64(res.ExactSims), "exact_sims")
 	b.ReportMetric(float64(res.GridSims), "grid_sims")
 	b.ReportMetric(float64(res.GridSims)/float64(res.ExactSims), "sims_saved_x")
+}
+
+// BenchmarkEventsimEngine measures the discrete-event core's hot loop
+// — schedule-and-drain through the intrusive value-typed event heap —
+// at a cascade depth typical of a lowered schedule. The events_per_op
+// metric makes ns/event comparable across runs; zero allocations per
+// event is the pinned property (the heap holds events by value, so
+// steady-state scheduling reuses the slice's capacity).
+func BenchmarkEventsimEngine(b *testing.B) {
+	const fanout, waves = 64, 32
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := eventsim.NewEngine()
+		var wave func(at eventsim.Time, depth int)
+		wave = func(at eventsim.Time, depth int) {
+			if depth == waves {
+				return
+			}
+			for j := 0; j < fanout; j++ {
+				d := at + eventsim.Time(j+1)
+				eng.At(d, func() {})
+			}
+			eng.At(at+fanout+1, func() { wave(at+fanout+1, depth+1) })
+		}
+		wave(0, 0)
+		eng.Run()
+	}
+	b.ReportMetric(float64(fanout+1)*waves, "events_per_op")
+}
+
+// BenchmarkFleetServingWarm measures the fleet scheduler itself: a
+// 20k-request trace on the 8-chip group with every step shape
+// pre-priced in the memory memo, so the numbers are pure scheduling —
+// admission, batching, completion bookkeeping, metric assembly — not
+// simulation. The serving metrics of the last iteration ride along.
+func BenchmarkFleetServingWarm(b *testing.B) {
+	opts := fleet.Options{
+		Trace: fleet.PoissonTrace(fleet.TraceOptions{
+			Requests: 20_000, RatePerSecond: 40, Seed: 9,
+		}),
+		System: core.DefaultSystem(8),
+		Model:  model.TinyLlama42M(),
+	}
+	if _, err := fleet.Run(opts); err != nil {
+		b.Fatal(err) // prime the memo
+	}
+	simsBefore := evalpool.Simulations()
+	var res *fleet.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := fleet.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.StopTimer()
+	if sims := evalpool.Simulations() - simsBefore; sims != 0 {
+		b.Fatalf("warm fleet replay ran %d simulations, want 0", sims)
+	}
+	b.ReportMetric(float64(len(opts.Trace.Requests)*b.N)/b.Elapsed().Seconds(), "requests_per_wallsec")
+	b.ReportMetric(res.Metrics.TokensPerSecond, "sim_tok_s")
+	b.ReportMetric(res.Metrics.P99LatencySeconds*1e3, "sim_p99_ms")
+	b.ReportMetric(res.Metrics.MeanBatch, "mean_batch")
 }

@@ -34,7 +34,7 @@ type step struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations topology network syncplan session extensions")
+	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations topology network syncplan session extensions fleet")
 	workers := flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 	cluster := flag.Int("cluster", 4, "network ablation: chips per fast local cluster")
 	backhaul := flag.Float64("backhaul", 10, "network ablation: inter-cluster bandwidth slowdown vs MIPI")
@@ -65,6 +65,7 @@ func main() {
 		{"syncplan", syncplan},
 		{"session", session},
 		{"extensions", extensions},
+		{"fleet", fleetStudy},
 	}
 	ran := 0
 	for _, s := range all {
@@ -348,6 +349,45 @@ func extensions() error {
 		"chips", "payload_B", "tree_cycles", "ring_cycles")
 	for _, r := range coll {
 		t.AddRow(r.Chips, r.Payload, r.TreeCycles, r.RingCycles)
+	}
+	return t.Render(os.Stdout)
+}
+
+// fleetStudy renders the fleet-serving studies: the saturation curve
+// of the two-group 64-chip fleet (latency vs offered load, knee
+// identified) and the continuous-batching ablation. Both are
+// deterministic fixtures — seeded traces, so the tables are
+// byte-identical across runs and worker counts.
+func fleetStudy() error {
+	sat, err := experiments.FleetSaturation()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Fleet saturation, 2x64-chip groups (knee at %g req/s; plan %s, %.2fx)",
+			sat.KneePerSec, sat.Plan, sat.PlanMargin),
+		"offered_req_s", "achieved_req_s", "p50_ms", "p99_ms", "tok_s",
+		"J_per_req", "mean_queue", "mean_batch", "util", "saturated")
+	for _, r := range sat.Rows {
+		t.AddRow(r.OfferedPerSec, r.AchievedPerSec,
+			r.P50LatencySeconds*1e3, r.P99LatencySeconds*1e3, r.TokensPerSecond,
+			r.EnergyPerRequestJoules, r.MeanQueueDepth, r.MeanBatch,
+			r.Utilization, yn(r.Saturated))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	rows, err := experiments.FleetBatchingAblation()
+	if err != nil {
+		return err
+	}
+	t = report.NewTable("Fleet continuous-batching ablation, 64 chips at saturation",
+		"max_batch", "tok_s", "p99_ms", "J_per_req", "mean_batch", "margin")
+	for _, r := range rows {
+		t.AddRow(r.MaxBatch, r.TokensPerSecond, r.P99LatencySeconds*1e3,
+			r.EnergyPerRequestJoules, r.MeanBatch, r.Margin)
 	}
 	return t.Render(os.Stdout)
 }

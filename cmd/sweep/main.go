@@ -17,6 +17,8 @@
 //	sweep -model scaled -chips 1,2,4,8 -cache-dir ~/.cache/mcudist -cache-stats
 //	                        # second run answers from the persistent
 //	                        # result store: exact_sims=0
+//	sweep -fleet -model scaled -chips 64 -groups 2 -rates 50,100,200,400
+//	sweep -fleet -chips 8 -max-batch 4 -requests 5000 -fleet-autotune
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"mcudist/internal/core"
 	"mcudist/internal/evalpool"
 	"mcudist/internal/explore"
+	"mcudist/internal/fleet"
 	"mcudist/internal/hw"
 	"mcudist/internal/model"
 	"mcudist/internal/report"
@@ -50,6 +53,13 @@ func main() {
 		autotune   = flag.Bool("autotune", false, "autotune the per-sync plan at each chip count and report it against the best uniform topology")
 		session    = flag.Bool("autotune-session", false, "autotune prefill+decode jointly at each chip count (predict-then-verify over the full class x topology grid; -mode is ignored, -seqlen sets the prompt length)")
 		topK       = flag.Int("topk", 0, "session autotuning: predicted-best candidates to verify exactly (0 = default)")
+		fleetMode  = flag.Bool("fleet", false, "fleet-serving mode: sweep Poisson arrival rates over a chip-group fleet with continuous batching (one CSV row per rate; -mode/-seqlen/-topology flags are ignored)")
+		rates      = flag.String("rates", "50,100,200,400,800,1600", "fleet: comma-separated offered arrival rates, requests per second")
+		requests   = flag.Int("requests", 2000, "fleet: requests per trace")
+		seed       = flag.Uint64("seed", 11, "fleet: trace RNG seed")
+		groups     = flag.Int("groups", 1, "fleet: independent chip groups (each -chips wide)")
+		maxBatch   = flag.Int("max-batch", 0, "fleet: decode micro-batch cap per group (0 = default 8; 1 = no batching)")
+		fleetTune  = flag.Bool("fleet-autotune", false, "fleet: pick each group's collective plan with the session autotuner")
 		workers    = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", "", "persistent result store directory: configurations simulated once are reloaded on every later run (default off; falls back to $MCUDIST_CACHE)")
 		cacheStats = flag.Bool("cache-stats", false, "print memory-hit / disk-hit / exact-simulation counts and store size to stderr after the sweep")
@@ -106,6 +116,13 @@ func main() {
 		chips = append(chips, n)
 	}
 
+	if *fleetMode {
+		if len(chips) != 1 {
+			fatal(fmt.Errorf("-fleet takes a single -chips value (group width), got %v", chips))
+		}
+		fleetSweep(cfg, chips[0], *rates, *requests, *seed, *groups, *maxBatch, *fleetTune)
+		return
+	}
 	wl := core.Workload{Model: cfg, Mode: mode, SeqLen: *seqLen}
 	if *session {
 		sessionSweep(topo, network, cfg, *seqLen, *topK, chips)
@@ -183,6 +200,55 @@ func sessionSweep(topo hw.Topology, network hw.Network, cfg model.Config, seqLen
 			res.Cycles, res.PredictedCycles,
 			res.BestUniform.String(), res.UniformCycles, res.Margin,
 			res.RankAccuracy, res.ExactSims, res.GridSims)
+	}
+	if err := t.CSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// fleetSweep emits one CSV row per offered arrival rate: the serving
+// metrics of a chip-group fleet under a seeded Poisson trace. The plan
+// column uses the "+"-joined spelling (empty when -fleet-autotune is
+// off) and pastes straight back into -plan.
+func fleetSweep(cfg model.Config, chipsPerGroup int, rateList string, requests int, seed uint64, groups, maxBatch int, autotune bool) {
+	var rates []float64
+	for _, part := range strings.Split(rateList, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad rate %q: %v", part, err))
+		}
+		rates = append(rates, r)
+	}
+	// The CSV carries only the deterministic serving metrics — cache
+	// counters go to stderr via -cache-stats — so a warm replay of the
+	// same sweep is byte-identical (CI diffs cold vs warm).
+	t := report.NewTable("", "offered_req_s", "achieved_req_s", "p50_s", "p99_s",
+		"p50_ttft_s", "tok_s", "J_per_req", "mean_queue", "max_queue",
+		"mean_batch", "util", "plan")
+	for _, rate := range rates {
+		res, err := fleet.Run(fleet.Options{
+			Trace: fleet.PoissonTrace(fleet.TraceOptions{
+				Requests: requests, RatePerSecond: rate, Seed: seed,
+			}),
+			System:   core.DefaultSystem(chipsPerGroup),
+			Model:    cfg,
+			Groups:   groups,
+			MaxBatch: maxBatch,
+			Autotune: autotune,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("rate %g: %w", rate, err))
+		}
+		m := res.Metrics
+		util := 0.0
+		for _, u := range m.GroupUtilization {
+			util += u
+		}
+		util /= float64(len(m.GroupUtilization))
+		t.AddRow(rate, m.RequestsPerSecond, m.P50LatencySeconds, m.P99LatencySeconds,
+			m.P50TTFTSeconds, m.TokensPerSecond, m.EnergyPerRequestJoules,
+			m.MeanQueueDepth, m.MaxQueueDepth, m.MeanBatch, util,
+			strings.ReplaceAll(res.Plan.String(), ",", "+"))
 	}
 	if err := t.CSV(os.Stdout); err != nil {
 		fatal(err)

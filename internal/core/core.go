@@ -41,6 +41,15 @@ type Workload struct {
 	// SeqLen is the sequence length (context length in autoregressive
 	// mode); zero selects the paper's value for the model and mode.
 	SeqLen int
+	// Batch is the decode micro-batch width in autoregressive mode:
+	// how many independent sessions generate one token each in this
+	// step, sharing every weight read, kernel launch, and collective
+	// synchronization (the continuous-batching step shape of the fleet
+	// simulator). Zero or one is the single-session step the paper
+	// evaluates, byte-identical to the pre-batch simulator. Batch is
+	// part of the workload shape, so each width is simulated exactly
+	// once per process (and once per persistent store lifetime).
+	Batch int
 }
 
 // ResolvedSeqLen returns the effective sequence length.
@@ -49,6 +58,14 @@ func (w Workload) ResolvedSeqLen() int {
 		return w.SeqLen
 	}
 	return model.PaperSeqLen(w.Model, w.Mode)
+}
+
+// ResolvedBatch returns the effective decode micro-batch width.
+func (w Workload) ResolvedBatch() int {
+	if w.Batch > 1 {
+		return w.Batch
+	}
+	return 1
 }
 
 // Report is the consolidated outcome of one simulated forward pass.
@@ -93,12 +110,18 @@ func Run(sys System, wl Workload) (*Report, error) {
 	if sys.Chips <= 0 {
 		return nil, fmt.Errorf("core: chip count %d must be positive", sys.Chips)
 	}
+	if wl.Batch < 0 {
+		return nil, fmt.Errorf("core: micro-batch width %d must be non-negative", wl.Batch)
+	}
+	if wl.Batch > 1 && wl.Mode != model.Autoregressive {
+		return nil, fmt.Errorf("core: micro-batch width %d needs autoregressive mode (prompt batching is the sequence length)", wl.Batch)
+	}
 	plan, err := buildPlan(sys, wl.Model)
 	if err != nil {
 		return nil, err
 	}
 	s := wl.ResolvedSeqLen()
-	d, err := deploy.New(plan, sys.HW, wl.Mode, s, sys.Options)
+	d, err := deploy.NewBatched(plan, sys.HW, wl.Mode, s, wl.ResolvedBatch(), sys.Options)
 	if err != nil {
 		return nil, err
 	}

@@ -94,6 +94,10 @@ type Deployment struct {
 	Mode    model.Mode
 	SeqLen  int
 	Options Options
+	// Batch is the decode micro-batch width (1 = the paper's
+	// single-session step): how many concurrent sessions share this
+	// lowering's weight reads, kernel launches, and collectives.
+	Batch int
 
 	Chips []ChipDeploy
 	// ReduceAdd is the per-received-tile accumulation cost during the
@@ -108,8 +112,19 @@ type Deployment struct {
 }
 
 // New lowers a partition plan onto the hardware for the given
-// workload.
+// workload, a single-session step (micro-batch width 1).
 func New(p *partition.Plan, hwp hw.Params, mode model.Mode, s int, opts Options) (*Deployment, error) {
+	return NewBatched(p, hwp, mode, s, 1, opts)
+}
+
+// NewBatched lowers a partition plan for a decode micro-batch of
+// `batch` concurrent sessions (each at context length s); batch <= 1
+// is the single-session lowering New produces. Batching widens every
+// GEMM's row dimension while weight bytes, kernel setup, and per-hop
+// link setup stay fixed — the continuous-batching amortization — and
+// multiplies the resident KV footprint, which is the pressure that
+// eventually pushes chips off the resident tiers.
+func NewBatched(p *partition.Plan, hwp hw.Params, mode model.Mode, s, batch int, opts Options) (*Deployment, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,6 +133,12 @@ func New(p *partition.Plan, hwp hw.Params, mode model.Mode, s int, opts Options)
 	}
 	if s <= 0 {
 		return nil, fmt.Errorf("deploy: sequence length %d must be positive", s)
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > 1 && mode != model.Autoregressive {
+		return nil, fmt.Errorf("deploy: micro-batch width %d needs autoregressive mode", batch)
 	}
 	if mode == model.Autoregressive && p.Config.Arch != model.Decoder {
 		return nil, fmt.Errorf("deploy: autoregressive mode needs a decoder, %s is an %s",
@@ -134,14 +155,15 @@ func New(p *partition.Plan, hwp hw.Params, mode model.Mode, s int, opts Options)
 		Mode:          mode,
 		SeqLen:        s,
 		Options:       opts,
-		ReduceAdd:     reduceAddOp(p.Config, mode, s, hwp),
-		RootSync:      rootSyncOps(p.Config, mode, s, hwp),
-		ReducePayload: p.ReducePayloadBytes(queryRows(mode, s)),
-		BcastPayload:  p.BcastPayloadBytes(queryRows(mode, s)),
+		Batch:         batch,
+		ReduceAdd:     reduceAddOp(p.Config, mode, s, batch, hwp),
+		RootSync:      rootSyncOps(p.Config, mode, s, batch, hwp),
+		ReducePayload: p.ReducePayloadBytes(queryRows(mode, s, batch)),
+		BcastPayload:  p.BcastPayloadBytes(queryRows(mode, s, batch)),
 	}
 
 	for chip := 0; chip < p.Chips; chip++ {
-		cd, err := lowerChip(p, chip, hwp, mode, s, commTile, opts)
+		cd, err := lowerChip(p, chip, hwp, mode, s, batch, commTile, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -150,14 +172,14 @@ func New(p *partition.Plan, hwp hw.Params, mode model.Mode, s int, opts Options)
 	return d, nil
 }
 
-func lowerChip(p *partition.Plan, chip int, hwp hw.Params, mode model.Mode, s, commTile int, opts Options) (ChipDeploy, error) {
-	tier, fp := chooseTier(p, chip, mode, s, commTile, hwp)
+func lowerChip(p *partition.Plan, chip int, hwp hw.Params, mode model.Mode, s, batch, commTile int, opts Options) (ChipDeploy, error) {
+	tier, fp := chooseTier(p, chip, mode, s, batch, commTile, hwp)
 	cd := ChipDeploy{
 		Chip:      chip,
 		Tier:      tier,
 		Footprint: fp,
 		Blocks:    p.BlocksOnChip(chip),
-		SeqRows:   queryRows(mode, s),
+		SeqRows:   queryRows(mode, s, batch),
 	}
 	if tier != TierResidentAll {
 		cd.StreamBytesPerBlock = int64(p.BlockWeightBytesOnChip(chip))
@@ -165,10 +187,10 @@ func lowerChip(p *partition.Plan, chip int, hwp hw.Params, mode model.Mode, s, c
 
 	switch p.Strategy {
 	case partition.TensorParallel:
-		cd.MHSA = mhsaOps(p, chip, mode, s, hwp)
-		cd.FC = fcOps(p, chip, mode, s, hwp)
+		cd.MHSA = mhsaOps(p, chip, mode, s, batch, hwp)
+		cd.FC = fcOps(p, chip, mode, s, batch, hwp)
 	case partition.Replicated:
-		rows := p.SeqSplit(queryRows(mode, s))[chip].Len()
+		rows := p.SeqSplit(queryRows(mode, s, batch))[chip].Len()
 		cd.SeqRows = rows
 		// The replicated baseline's block is modeled as one fused
 		// phase (MHSA) plus an empty FC phase; synchronization slots
@@ -179,7 +201,7 @@ func lowerChip(p *partition.Plan, chip int, hwp hw.Params, mode model.Mode, s, c
 			cd.StreamBytesPerBlock = 0 // idle chips do not touch weights
 		}
 	case partition.Pipeline:
-		cd.MHSA = singleChipBlockOps(p.Config, mode, s, hwp)
+		cd.MHSA = singleChipBlockOps(p.Config, mode, s, batch, hwp)
 		cd.FC = nil
 	default:
 		return cd, fmt.Errorf("deploy: unknown strategy %v", p.Strategy)

@@ -13,9 +13,14 @@ import (
 const DefaultCommTileBytes = 64 * 1024
 
 // queryRows returns the number of token rows processed per forward:
-// one in autoregressive mode, S in prompt mode.
-func queryRows(mode model.Mode, s int) int {
+// the decode micro-batch width in autoregressive mode (one row per
+// concurrent session, 1 for the paper's single-session step), S in
+// prompt mode.
+func queryRows(mode model.Mode, s, batch int) int {
 	if mode == model.Autoregressive {
+		if batch > 1 {
+			return batch
+		}
 		return 1
 	}
 	return s
@@ -26,9 +31,9 @@ func queryRows(mode model.Mode, s int) int {
 // slices, the larger of one head's score matrix and the FFN
 // intermediate slice, the partial output staging, and the block
 // output.
-func activationBytes(p *partition.Plan, chip int, mode model.Mode, s int) int {
+func activationBytes(p *partition.Plan, chip int, mode model.Mode, s, batch int) int {
 	cfg := p.Config
-	sq := queryRows(mode, s)
+	sq := queryRows(mode, s, batch)
 	x := sq * cfg.E * cfg.ActBytes
 	qkv := sq * (p.PSlice(chip) + 2*p.KVWidth(chip)) * cfg.ActBytes
 	scores := sq * s * cfg.ActBytes
@@ -43,8 +48,8 @@ func activationBytes(p *partition.Plan, chip int, mode model.Mode, s int) int {
 }
 
 // commStagingBytes is the bounded L2 staging for collective payloads.
-func commStagingBytes(p *partition.Plan, mode model.Mode, s int, commTile int) int {
-	sq := queryRows(mode, s)
+func commStagingBytes(p *partition.Plan, mode model.Mode, s, batch int, commTile int) int {
+	sq := queryRows(mode, s, batch)
 	staging := 0
 	for _, payload := range []int64{p.ReducePayloadBytes(sq), p.BcastPayloadBytes(sq)} {
 		if payload > int64(commTile) {
@@ -57,18 +62,25 @@ func commStagingBytes(p *partition.Plan, mode model.Mode, s int, commTile int) i
 }
 
 // kvResidentBytes is the chip's resident KV-cache requirement: its
-// head slices for every block it participates in (decoders only).
-func kvResidentBytes(p *partition.Plan, chip int, s int) int {
+// head slices for every block it participates in (decoders only),
+// once per concurrently batched session — KV pressure is the honest
+// cost of continuous batching and pushes tier selection down as the
+// micro-batch widens.
+func kvResidentBytes(p *partition.Plan, chip int, s, batch int) int {
 	if p.Config.Arch != model.Decoder {
 		return 0
 	}
-	return p.KVBytesPerBlockOnChip(chip, s) * p.BlocksOnChip(chip)
+	sessions := 1
+	if batch > 1 {
+		sessions = batch
+	}
+	return p.KVBytesPerBlockOnChip(chip, s) * p.BlocksOnChip(chip) * sessions
 }
 
 // footprintAt builds the L2 footprint of a chip under a candidate
 // weight-residency multiple: weightBlocks = how many blocks' weight
 // slices are held simultaneously (0 = streamed tile only).
-func footprintAt(p *partition.Plan, chip int, mode model.Mode, s, weightBlocks, commTile int, hwp hw.Params) mem.Footprint {
+func footprintAt(p *partition.Plan, chip int, mode model.Mode, s, batch, weightBlocks, commTile int, hwp hw.Params) mem.Footprint {
 	wb := p.BlockWeightBytesOnChip(chip) * weightBlocks
 	if weightBlocks == 0 {
 		// Streaming needs a double-buffered weight tile in L2.
@@ -76,9 +88,9 @@ func footprintAt(p *partition.Plan, chip int, mode model.Mode, s, weightBlocks, 
 	}
 	return mem.Footprint{
 		WeightBytes:     wb,
-		KVBytes:         kvResidentBytes(p, chip, s),
-		ActivationBytes: activationBytes(p, chip, mode, s),
-		CommBytes:       commStagingBytes(p, mode, s, commTile),
+		KVBytes:         kvResidentBytes(p, chip, s, batch),
+		ActivationBytes: activationBytes(p, chip, mode, s, batch),
+		CommBytes:       commStagingBytes(p, mode, s, batch, commTile),
 	}
 }
 
@@ -92,17 +104,17 @@ func streamTileBytes(hwp hw.Params) int {
 }
 
 // chooseTier picks the best placement the chip's L2 budget allows.
-func chooseTier(p *partition.Plan, chip int, mode model.Mode, s, commTile int, hwp hw.Params) (Tier, mem.Footprint) {
+func chooseTier(p *partition.Plan, chip int, mode model.Mode, s, batch, commTile int, hwp hw.Params) (Tier, mem.Footprint) {
 	budget := hwp.UsableL2Bytes()
 	blocks := p.BlocksOnChip(chip)
-	if fp := footprintAt(p, chip, mode, s, blocks, commTile, hwp); fp.FitsIn(budget) {
+	if fp := footprintAt(p, chip, mode, s, batch, blocks, commTile, hwp); fp.FitsIn(budget) {
 		return TierResidentAll, fp
 	}
-	if fp := footprintAt(p, chip, mode, s, 2, commTile, hwp); blocks > 1 && fp.FitsIn(budget) {
+	if fp := footprintAt(p, chip, mode, s, batch, 2, commTile, hwp); blocks > 1 && fp.FitsIn(budget) {
 		return TierDoubleBuffered, fp
 	}
-	if fp := footprintAt(p, chip, mode, s, 1, commTile, hwp); fp.FitsIn(budget) {
+	if fp := footprintAt(p, chip, mode, s, batch, 1, commTile, hwp); fp.FitsIn(budget) {
 		return TierResidentSingle, fp
 	}
-	return TierStreamed, footprintAt(p, chip, mode, s, 0, commTile, hwp)
+	return TierStreamed, footprintAt(p, chip, mode, s, batch, 0, commTile, hwp)
 }

@@ -17,10 +17,10 @@ func elem(cfg model.Config) kernels.Elem {
 // chip's head slice, RoPE, KV append, per-head attention, and the
 // partial output projection (plus requantization of the partial when
 // partials are exchanged in int8).
-func mhsaOps(p *partition.Plan, chip int, mode model.Mode, s int, hwp hw.Params) []kernels.Cost {
+func mhsaOps(p *partition.Plan, chip int, mode model.Mode, s, batch int, hwp hw.Params) []kernels.Cost {
 	cfg := p.Config
 	e := elem(cfg)
-	sq := queryRows(mode, s)
+	sq := queryRows(mode, s, batch)
 	ps := p.PSlice(chip)
 	kvw := p.KVWidth(chip)
 	hd := cfg.HeadDim()
@@ -57,10 +57,10 @@ func mhsaOps(p *partition.Plan, chip int, mode model.Mode, s int, hwp hw.Params)
 // fcOps returns one chip's partial FC sequence: the F-sliced first
 // linear (plus gate for gated FFNs), activation, and the partial
 // second linear.
-func fcOps(p *partition.Plan, chip int, mode model.Mode, s int, hwp hw.Params) []kernels.Cost {
+func fcOps(p *partition.Plan, chip int, mode model.Mode, s, batch int, hwp hw.Params) []kernels.Cost {
 	cfg := p.Config
 	e := elem(cfg)
-	sq := queryRows(mode, s)
+	sq := queryRows(mode, s, batch)
 	fw := p.FWidth(chip)
 
 	var ops []kernels.Cost
@@ -81,14 +81,14 @@ func fcOps(p *partition.Plan, chip int, mode model.Mode, s int, hwp hw.Params) [
 
 // reduceAddOp is the accumulation a parent performs per received
 // partial tile during the all-reduce.
-func reduceAddOp(cfg model.Config, mode model.Mode, s int, hwp hw.Params) kernels.Cost {
-	return kernels.ReduceAdd(hwp, queryRows(mode, s), cfg.E, elem(cfg))
+func reduceAddOp(cfg model.Config, mode model.Mode, s, batch int, hwp hw.Params) kernels.Cost {
+	return kernels.ReduceAdd(hwp, queryRows(mode, s, batch), cfg.E, elem(cfg))
 }
 
 // rootSyncOps is the serial work of the root after the reduce: merge
 // the residual stream, normalize, and requantize for the broadcast.
-func rootSyncOps(cfg model.Config, mode model.Mode, s int, hwp hw.Params) []kernels.Cost {
-	sq := queryRows(mode, s)
+func rootSyncOps(cfg model.Config, mode model.Mode, s, batch int, hwp hw.Params) []kernels.Cost {
+	sq := queryRows(mode, s, batch)
 	e := elem(cfg)
 	return []kernels.Cost{
 		kernels.ResidualAdd(hwp, sq, cfg.E, e),
@@ -138,15 +138,15 @@ func replicatedChipOps(p *partition.Plan, rows int, s int, hwp hw.Params) []kern
 // singleChipBlockOps is the whole-block sequence on one chip (used by
 // the pipeline baseline stages and equivalent to the 1-chip
 // tensor-parallel plan).
-func singleChipBlockOps(cfg model.Config, mode model.Mode, s int, hwp hw.Params) []kernels.Cost {
+func singleChipBlockOps(cfg model.Config, mode model.Mode, s, batch int, hwp hw.Params) []kernels.Cost {
 	p, err := partition.NewTensorParallel(cfg, 1)
 	if err != nil {
 		panic(err)
 	}
-	ops := mhsaOps(p, 0, mode, s, hwp)
-	ops = append(ops, rootSyncOps(cfg, mode, s, hwp)...)
-	ops = append(ops, fcOps(p, 0, mode, s, hwp)...)
-	ops = append(ops, rootSyncOps(cfg, mode, s, hwp)...)
+	ops := mhsaOps(p, 0, mode, s, batch, hwp)
+	ops = append(ops, rootSyncOps(cfg, mode, s, batch, hwp)...)
+	ops = append(ops, fcOps(p, 0, mode, s, batch, hwp)...)
+	ops = append(ops, rootSyncOps(cfg, mode, s, batch, hwp)...)
 	return ops
 }
 

@@ -9,7 +9,6 @@
 package eventsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -24,24 +23,61 @@ type event struct {
 	call func()
 }
 
-type eventQueue []*event
+// eventQueue is a binary min-heap of events stored by value: pushing
+// an event moves the struct into the backing slice instead of
+// allocating it on the heap and boxing a pointer through the
+// container/heap interface. The fleet simulator schedules millions of
+// events per run, so the two allocations per event (one for the
+// struct, one for the interface conversion) were the engine's whole
+// allocation profile beyond the callback closures themselves.
+type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h[n] = event{} // release the callback reference
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
 }
 
 // Engine owns the event queue and the simulated clock.
@@ -73,7 +109,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("eventsim: non-finite event time %v", t))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, call: fn})
+	e.queue.push(event{at: t, seq: e.seq, call: fn})
 }
 
 // After schedules fn to run delay cycles from now.
@@ -88,7 +124,7 @@ func (e *Engine) After(delay Time, fn func()) {
 // simulated time.
 func (e *Engine) Run() Time {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.queue.pop()
 		e.now = ev.at
 		e.events++
 		ev.call()
@@ -100,7 +136,7 @@ func (e *Engine) Run() Time {
 // events queued, and advances the clock to min(deadline, last event).
 func (e *Engine) RunUntil(deadline Time) Time {
 	for len(e.queue) > 0 && e.queue[0].at <= deadline {
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.queue.pop()
 		e.now = ev.at
 		e.events++
 		ev.call()

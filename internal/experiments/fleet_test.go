@@ -1,0 +1,71 @@
+package experiments
+
+import "testing"
+
+// The saturation study's knee is pinned: the two-group 64-chip fleet
+// keeps up with offered load through 200 req/s and saturates past it,
+// plateauing near its ~206 req/s service capacity (~3.7k decoded
+// tokens/sec) with the autotuned prefill-ring/decode-tree plan.
+func TestFleetSaturationKnee(t *testing.T) {
+	res, err := FleetSaturation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KneePerSec != 200 {
+		t.Errorf("saturation knee at %g req/s, want 200", res.KneePerSec)
+	}
+	if res.Plan != "prefill=ring,decode=tree" {
+		t.Errorf("fleet adopted plan %q, want the 64-chip prefill-ring/decode-tree hybrid", res.Plan)
+	}
+	if res.PlanMargin < 1.2 {
+		t.Errorf("plan margin %.3f below the pinned 1.28x win", res.PlanMargin)
+	}
+	var prevP99 float64
+	for _, row := range res.Rows {
+		wantSat := row.OfferedPerSec > res.KneePerSec
+		if row.Saturated != wantSat {
+			t.Errorf("offered %g: saturated=%v, want %v", row.OfferedPerSec, row.Saturated, wantSat)
+		}
+		if row.P99LatencySeconds < prevP99 {
+			t.Errorf("offered %g: p99 %.5fs fell below the previous point's %.5fs",
+				row.OfferedPerSec, row.P99LatencySeconds, prevP99)
+		}
+		prevP99 = row.P99LatencySeconds
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.AchievedPerSec < 150 || last.AchievedPerSec > 250 {
+		t.Errorf("saturated throughput %.1f req/s outside the ~206 req/s capacity plateau",
+			last.AchievedPerSec)
+	}
+	if last.MeanBatch < 7 {
+		t.Errorf("saturated mean batch %.2f did not approach the cap of 8", last.MeanBatch)
+	}
+}
+
+// The batching ablation is pinned: tokens/sec climbs monotonically
+// with the micro-batch cap — at least 1.5x over the sequential
+// baseline at cap 8 — while energy per request falls monotonically
+// (weight reads, kernel setup, and collectives amortize).
+func TestFleetBatchingAblation(t *testing.T) {
+	rows, err := FleetBatchingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].MaxBatch != 1 {
+		t.Fatalf("unexpected ablation shape: %+v", rows)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TokensPerSecond <= rows[i-1].TokensPerSecond {
+			t.Errorf("cap %d: tokens/sec %.1f did not improve on cap %d's %.1f",
+				rows[i].MaxBatch, rows[i].TokensPerSecond, rows[i-1].MaxBatch, rows[i-1].TokensPerSecond)
+		}
+		if rows[i].EnergyPerRequestJoules >= rows[i-1].EnergyPerRequestJoules {
+			t.Errorf("cap %d: J/req %.4f did not fall below cap %d's %.4f",
+				rows[i].MaxBatch, rows[i].EnergyPerRequestJoules, rows[i-1].MaxBatch, rows[i-1].EnergyPerRequestJoules)
+		}
+	}
+	final := rows[len(rows)-1]
+	if final.Margin < 1.5 {
+		t.Errorf("cap-8 batching margin %.3fx below the 1.5x floor", final.Margin)
+	}
+}

@@ -49,6 +49,8 @@ func runSuite(t *testing.T) map[string]any {
 	run("extension-batching", func() (any, error) { return ExtensionBatchingStudy() })
 	run("extension-collective", func() (any, error) { return ExtensionCollectiveStudy() })
 	run("extension-gqa", func() (any, error) { return ExtensionGQAStudy() })
+	run("fleet-saturation", func() (any, error) { return FleetSaturation() })
+	run("fleet-batching", func() (any, error) { return FleetBatchingAblation() })
 	return out
 }
 

@@ -1,0 +1,635 @@
+// Package fleet is the fleet-serving simulator: an event-driven
+// scheduler that admits a stream of inference requests (seeded Poisson
+// or trace-driven arrivals, mixed prompt lengths and decode budgets)
+// onto one or more chip groups and continuously batches decode steps
+// across sessions, reporting serving metrics — p50/p99 request
+// latency, tokens per second, queue depth over time, chip-group
+// utilization, energy per request — instead of cycles per run.
+//
+// Every scheduled step is priced by a step-cost oracle: a prefill of
+// length L is the (System, Workload{Prompt, L}) point and a decode
+// micro-batch of width B at context C is (System, Workload{AR, C,
+// Batch: B}), both evaluated through the evalpool cache tiers
+// (in-process memo → persistent resultstore → exact simulation).
+// Context lengths are bucketed, so a fleet run prices only as many
+// exact simulations as there are distinct step shapes — tens, not
+// millions — and a warm persistent store prices a million-request run
+// with zero exact simulations.
+//
+// The scheduler itself is strictly serial on the eventsim engine
+// (time in seconds), so fleet output is byte-identical across worker
+// counts and runs at a fixed seed: concurrency only ever lives in the
+// oracle pool, whose results are byte-identical by evalpool's own
+// guarantee.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mcudist/internal/collective"
+	"mcudist/internal/core"
+	"mcudist/internal/evalpool"
+	"mcudist/internal/eventsim"
+	"mcudist/internal/explore"
+	"mcudist/internal/model"
+)
+
+// Request is one inference request: a prompt to prefill and a decode
+// budget to generate.
+type Request struct {
+	// ID is the request's index in the trace.
+	ID int
+	// ArrivalSeconds is the request's arrival time on the fleet clock.
+	ArrivalSeconds float64
+	// PromptLen is the prompt length in tokens (the prefill shape).
+	PromptLen int
+	// DecodeTokens is how many tokens the session generates in decode
+	// steps after the prefill produced its first token.
+	DecodeTokens int
+}
+
+// Trace is an arrival schedule: requests sorted by arrival time.
+type Trace struct {
+	Requests []Request
+}
+
+// TraceOptions parameterizes PoissonTrace. The zero value of each
+// field selects the default noted on it.
+type TraceOptions struct {
+	// Requests is the trace length (default 1000).
+	Requests int
+	// RatePerSecond is the mean Poisson arrival rate (default 1).
+	RatePerSecond float64
+	// Seed seeds the deterministic generator; equal seeds yield
+	// byte-identical traces (default 1).
+	Seed uint64
+	// PromptLens are the prompt-length choices, picked uniformly
+	// (default 16, 32, 64, 128).
+	PromptLens []int
+	// MinDecode/MaxDecode bound the uniform decode budget
+	// (defaults 4 and 32).
+	MinDecode, MaxDecode int
+}
+
+// PoissonTrace generates a seeded Poisson arrival trace with mixed
+// prompt lengths and decode budgets. The generator is a splitmix64
+// stream owned by the trace, so the result depends only on the
+// options — never on process scheduling or math/rand global state.
+func PoissonTrace(opts TraceOptions) Trace {
+	n := opts.Requests
+	if n <= 0 {
+		n = 1000
+	}
+	rate := opts.RatePerSecond
+	if rate <= 0 {
+		rate = 1
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	prompts := opts.PromptLens
+	if len(prompts) == 0 {
+		prompts = []int{16, 32, 64, 128}
+	}
+	minD, maxD := opts.MinDecode, opts.MaxDecode
+	if minD <= 0 {
+		minD = 4
+	}
+	if maxD < minD {
+		maxD = 32
+		if maxD < minD {
+			maxD = minD
+		}
+	}
+	r := rng{state: seed}
+	tr := Trace{Requests: make([]Request, n)}
+	at := 0.0
+	for i := 0; i < n; i++ {
+		at += r.exp() / rate
+		tr.Requests[i] = Request{
+			ID:             i,
+			ArrivalSeconds: at,
+			PromptLen:      prompts[r.intn(len(prompts))],
+			DecodeTokens:   minD + r.intn(maxD-minD+1),
+		}
+	}
+	return tr
+}
+
+// Options configures one fleet run.
+type Options struct {
+	// Trace is the request stream (required).
+	Trace Trace
+	// System is the per-group platform: hardware, chip count, strategy,
+	// and planner options. Every group is identical.
+	System core.System
+	// Model is the served model.
+	Model model.Config
+	// Groups is the number of independent chip groups requests are
+	// routed across (default 1). Arrivals go to the group with the
+	// fewest outstanding requests, lowest index first.
+	Groups int
+	// MaxBatch caps the decode micro-batch width per group (default 8;
+	// 1 disables continuous batching — the sequential baseline).
+	MaxBatch int
+	// ContextBucket rounds decode-step contexts up to a multiple of
+	// this many tokens for pricing (default 32). Larger buckets mean
+	// fewer distinct step shapes (fewer exact simulations) at the cost
+	// of coarser step prices; a step is never priced below its true
+	// context. Prompts are priced at their exact length — a trace's
+	// distinct prompt lengths bound those shapes already.
+	ContextBucket int
+	// Autotune runs explore.AutotuneSession once on the group system
+	// and adopts the winning per-sync collective plan for every group,
+	// so fleet throughput inherits the per-sync plan wins.
+	Autotune bool
+	// AutotuneTopK is the session autotuner's pruning knob (0 =
+	// explore's default).
+	AutotuneTopK int
+}
+
+// QueueSample is one point of the queue-depth-over-time series.
+type QueueSample struct {
+	AtSeconds float64
+	// Depth is the number of requests in the system (arrived, not yet
+	// completed: waiting for prefill or actively decoding).
+	Depth int
+}
+
+// Metrics are the serving metrics of one fleet run. Every field is a
+// pure function of (Trace, System, Model, scheduler options): cold and
+// warm stores, and any worker count, produce byte-identical Metrics.
+type Metrics struct {
+	// Requests / Completed count the trace and its completions (equal
+	// unless the trace is empty).
+	Requests  int
+	Completed int
+	// SimSeconds is the fleet makespan: the time the last request
+	// completed (or the last arrival, if later).
+	SimSeconds float64
+	// Request latency (arrival → last token) percentiles and mean, by
+	// nearest rank over completed requests.
+	P50LatencySeconds  float64
+	P99LatencySeconds  float64
+	MeanLatencySeconds float64
+	// Time to first token (arrival → prefill complete) percentiles.
+	P50TTFTSeconds float64
+	P99TTFTSeconds float64
+	// TokensPerSecond is decoded tokens per simulated second over the
+	// makespan (prefill tokens are not counted as output).
+	TokensPerSecond float64
+	// RequestsPerSecond is completed requests over the makespan — the
+	// achieved throughput the saturation sweep compares to the offered
+	// rate.
+	RequestsPerSecond float64
+	// Energy: the analytical model's joules summed over every
+	// scheduled step, and the per-request quotient. A decode step's
+	// energy is split evenly across its batch.
+	TotalEnergyJoules      float64
+	EnergyPerRequestJoules float64
+	// Queue depth (requests in system): time-weighted mean over the
+	// makespan, the maximum, and an adaptively strided series.
+	MeanQueueDepth float64
+	MaxQueueDepth  int
+	QueueOverTime  []QueueSample
+	// GroupUtilization is busy-seconds / makespan per chip group.
+	GroupUtilization []float64
+	// MeanBatch is the mean decode micro-batch width over decode
+	// steps; PrefillSteps/DecodeSteps count scheduled steps.
+	MeanBatch    float64
+	PrefillSteps int
+	DecodeSteps  int
+}
+
+// Result is one fleet run: deterministic serving metrics plus the
+// run's oracle accounting and the adopted plan.
+type Result struct {
+	Metrics Metrics
+	// DistinctShapes is how many distinct step shapes the run priced —
+	// the upper bound on exact simulations a cold run pays.
+	DistinctShapes int
+	// ExactSims is how many exact core.Run simulations this run
+	// actually executed (the process-wide evalpool delta): positive on
+	// a cold store, zero on a warm one. Evaluations is the
+	// storage-independent memory-miss count.
+	ExactSims   uint64
+	Evaluations uint64
+	// Plan is the adopted per-sync collective plan (zero unless
+	// Autotune) and AutotuneMargin its win over the best uniform
+	// topology.
+	Plan           collective.Plan
+	AutotuneMargin float64
+}
+
+// session is one admitted request's decoding state.
+type session struct {
+	req       Request
+	ctx       int // current context length in tokens
+	remaining int // decode tokens still to generate
+	energy    float64
+	prefilled float64 // prefill completion time (TTFT reference)
+}
+
+// stepCost is one priced step shape.
+type stepCost struct {
+	seconds float64
+	joules  float64
+}
+
+// shapeKey identifies a step shape in the fleet-local price memo.
+type shapeKey struct {
+	mode   model.Mode
+	seqLen int
+	batch  int
+}
+
+// group is one chip group's scheduler state.
+type group struct {
+	id          int
+	promptQ     []*session // waiting for prefill, FIFO
+	active      []*session // admitted sessions, admission order
+	busy        bool
+	busySeconds float64
+}
+
+func (g *group) outstanding() int { return len(g.promptQ) + len(g.active) }
+
+// fleet is one run's full state.
+type fleet struct {
+	opts   Options
+	sys    core.System
+	eng    *eventsim.Engine
+	groups []*group
+	prices map[shapeKey]stepCost
+
+	// depth accounting (requests in system, all groups)
+	depth       int
+	maxDepth    int
+	lastDepthAt float64
+	depthArea   float64
+	samples     []QueueSample
+	stride      int
+	sinceSample int
+
+	latencies []float64
+	ttfts     []float64
+
+	decodedTokens int64
+	totalEnergy   float64
+	prefillSteps  int
+	decodeSteps   int
+	batchSum      int64
+	completed     int
+	err           error
+}
+
+const maxQueueSamples = 512
+
+// Run simulates the trace on the fleet and returns its metrics.
+func Run(opts Options) (*Result, error) {
+	if len(opts.Trace.Requests) == 0 {
+		return nil, fmt.Errorf("fleet: empty trace")
+	}
+	if opts.System.Chips <= 0 {
+		return nil, fmt.Errorf("fleet: chip count %d must be positive", opts.System.Chips)
+	}
+	if opts.Model.L == 0 {
+		return nil, fmt.Errorf("fleet: no model configured")
+	}
+	groups := opts.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	if opts.MaxBatch < 0 {
+		return nil, fmt.Errorf("fleet: max batch %d must be non-negative", opts.MaxBatch)
+	}
+	if opts.ContextBucket < 0 {
+		return nil, fmt.Errorf("fleet: context bucket %d must be non-negative", opts.ContextBucket)
+	}
+	for i, r := range opts.Trace.Requests {
+		if r.PromptLen <= 0 {
+			return nil, fmt.Errorf("fleet: request %d: prompt length %d must be positive", i, r.PromptLen)
+		}
+		if r.DecodeTokens < 0 {
+			return nil, fmt.Errorf("fleet: request %d: decode budget %d must be non-negative", i, r.DecodeTokens)
+		}
+		if r.ArrivalSeconds < 0 || math.IsNaN(r.ArrivalSeconds) || math.IsInf(r.ArrivalSeconds, 0) {
+			return nil, fmt.Errorf("fleet: request %d: bad arrival time %v", i, r.ArrivalSeconds)
+		}
+	}
+
+	simsBefore := evalpool.Simulations()
+	evalsBefore := evalpool.Evaluations()
+
+	res := &Result{}
+	sys := opts.System
+	if opts.Autotune {
+		tuned, err := explore.AutotuneSession(sys, opts.Model,
+			explore.SessionOptions{TopK: opts.AutotuneTopK})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: autotune: %w", err)
+		}
+		sys.Options.SyncPlan = tuned.Plan
+		res.Plan = tuned.Plan
+		res.AutotuneMargin = tuned.Margin
+	}
+
+	f := &fleet{
+		opts:   opts,
+		sys:    sys,
+		eng:    eventsim.NewEngine(),
+		prices: make(map[shapeKey]stepCost),
+		stride: 1,
+	}
+	for i := 0; i < groups; i++ {
+		f.groups = append(f.groups, &group{id: i})
+	}
+
+	// Arrivals are sorted defensively (stable, so equal times keep
+	// trace order) and scheduled up front; everything after runs off
+	// the event queue.
+	reqs := make([]Request, len(opts.Trace.Requests))
+	copy(reqs, opts.Trace.Requests)
+	sort.SliceStable(reqs, func(i, j int) bool {
+		return reqs[i].ArrivalSeconds < reqs[j].ArrivalSeconds
+	})
+	for i := range reqs {
+		req := reqs[i]
+		f.eng.At(req.ArrivalSeconds, func() { f.arrive(req) })
+	}
+	end := f.eng.Run()
+	if f.err != nil {
+		return nil, f.err
+	}
+
+	res.Metrics = f.metrics(end)
+	res.DistinctShapes = len(f.prices)
+	res.ExactSims = evalpool.Simulations() - simsBefore
+	res.Evaluations = evalpool.Evaluations() - evalsBefore
+	return res, nil
+}
+
+// arrive routes one request to the least-loaded group and kicks its
+// scheduler.
+func (f *fleet) arrive(req Request) {
+	if f.err != nil {
+		return
+	}
+	now := f.eng.Now()
+	best := f.groups[0]
+	for _, g := range f.groups[1:] {
+		if g.outstanding() < best.outstanding() {
+			best = g
+		}
+	}
+	best.promptQ = append(best.promptQ, &session{req: req, ctx: req.PromptLen, remaining: req.DecodeTokens})
+	f.noteDepth(now, +1)
+	f.start(best, now)
+}
+
+// maxBatch returns the effective decode micro-batch cap.
+func (f *fleet) maxBatch() int {
+	if f.opts.MaxBatch == 0 {
+		return 8
+	}
+	return f.opts.MaxBatch
+}
+
+// bucket rounds a decode context up to the pricing bucket.
+func (f *fleet) bucket(n int) int {
+	b := f.opts.ContextBucket
+	if b == 0 {
+		b = 32
+	}
+	if b == 1 || n%b == 0 {
+		return n
+	}
+	return (n/b + 1) * b
+}
+
+// price returns the cost of one step shape through the oracle tiers,
+// memoized fleet-locally so the scheduler's hot loop costs one map
+// probe per step.
+func (f *fleet) price(mode model.Mode, seqLen, batch int) (stepCost, error) {
+	key := shapeKey{mode: mode, seqLen: seqLen, batch: batch}
+	if c, ok := f.prices[key]; ok {
+		return c, nil
+	}
+	rep, err := evalpool.Run(f.sys, core.Workload{Model: f.opts.Model, Mode: mode, SeqLen: seqLen, Batch: batch})
+	if err != nil {
+		return stepCost{}, fmt.Errorf("fleet: price %s seq=%d batch=%d: %w", mode, seqLen, batch, err)
+	}
+	c := stepCost{seconds: rep.Seconds, joules: rep.Energy.Total()}
+	f.prices[key] = c
+	return c, nil
+}
+
+// start schedules the group's next step if it is idle and has work:
+// admit the oldest waiting prefill while the batch has room, otherwise
+// decode one micro-batch across every active session (continuous
+// batching).
+func (f *fleet) start(g *group, now float64) {
+	if f.err != nil || g.busy {
+		return
+	}
+	switch {
+	case len(g.promptQ) > 0 && len(g.active) < f.maxBatch():
+		s := g.promptQ[0]
+		g.promptQ[0] = nil
+		g.promptQ = g.promptQ[1:]
+		cost, err := f.price(model.Prompt, s.req.PromptLen, 1)
+		if err != nil {
+			f.err = err
+			return
+		}
+		end := now + cost.seconds
+		s.energy += cost.joules
+		f.totalEnergy += cost.joules
+		f.prefillSteps++
+		g.busy = true
+		g.busySeconds += cost.seconds
+		f.eng.At(end, func() { f.finishPrefill(g, s, end) })
+	case len(g.active) > 0:
+		width := len(g.active)
+		if cap := f.maxBatch(); width > cap {
+			width = cap
+		}
+		batch := g.active[:width]
+		maxCtx := 0
+		for _, s := range batch {
+			if s.ctx > maxCtx {
+				maxCtx = s.ctx
+			}
+		}
+		cost, err := f.price(model.Autoregressive, f.bucket(maxCtx), width)
+		if err != nil {
+			f.err = err
+			return
+		}
+		end := now + cost.seconds
+		f.totalEnergy += cost.joules
+		f.decodeSteps++
+		f.batchSum += int64(width)
+		g.busy = true
+		g.busySeconds += cost.seconds
+		f.eng.At(end, func() { f.finishDecode(g, width, cost.joules, end) })
+	}
+}
+
+// finishPrefill admits the prefilled session to the decode pool (or
+// completes it outright when it has no decode budget) and reschedules.
+func (f *fleet) finishPrefill(g *group, s *session, end float64) {
+	if f.err != nil {
+		return
+	}
+	g.busy = false
+	s.prefilled = end
+	f.ttfts = append(f.ttfts, end-s.req.ArrivalSeconds)
+	if s.remaining == 0 {
+		f.complete(s, end)
+	} else {
+		g.active = append(g.active, s)
+	}
+	f.start(g, end)
+}
+
+// finishDecode advances the first `width` active sessions by one token
+// each, completes the ones that exhausted their budget, and
+// reschedules.
+func (f *fleet) finishDecode(g *group, width int, joules float64, end float64) {
+	if f.err != nil {
+		return
+	}
+	g.busy = false
+	share := joules / float64(width)
+	kept := g.active[:0]
+	for i, s := range g.active {
+		if i < width {
+			s.ctx++
+			s.remaining--
+			s.energy += share
+			if s.remaining == 0 {
+				f.decodedTokens++
+				f.complete(s, end)
+				continue
+			}
+			f.decodedTokens++
+		}
+		kept = append(kept, s)
+	}
+	for i := len(kept); i < len(g.active); i++ {
+		g.active[i] = nil
+	}
+	g.active = kept
+	f.start(g, end)
+}
+
+// complete records one finished request.
+func (f *fleet) complete(s *session, end float64) {
+	f.completed++
+	f.latencies = append(f.latencies, end-s.req.ArrivalSeconds)
+	f.noteDepth(end, -1)
+}
+
+// noteDepth accumulates the time-weighted queue-depth integral and the
+// adaptively strided series: when the series fills, every other sample
+// is dropped and the stride doubles, bounding it to maxQueueSamples
+// regardless of trace length.
+func (f *fleet) noteDepth(now float64, delta int) {
+	f.depthArea += float64(f.depth) * (now - f.lastDepthAt)
+	f.lastDepthAt = now
+	f.depth += delta
+	if f.depth > f.maxDepth {
+		f.maxDepth = f.depth
+	}
+	f.sinceSample++
+	if f.sinceSample < f.stride {
+		return
+	}
+	f.sinceSample = 0
+	if len(f.samples) == maxQueueSamples {
+		keep := f.samples[:0]
+		for i := 0; i < len(f.samples); i += 2 {
+			keep = append(keep, f.samples[i])
+		}
+		f.samples = keep
+		f.stride *= 2
+	}
+	f.samples = append(f.samples, QueueSample{AtSeconds: now, Depth: f.depth})
+}
+
+// metrics assembles the run's deterministic serving metrics.
+func (f *fleet) metrics(end float64) Metrics {
+	// Close the depth integral out to the makespan.
+	f.depthArea += float64(f.depth) * (end - f.lastDepthAt)
+	f.lastDepthAt = end
+
+	m := Metrics{
+		Requests:      len(f.opts.Trace.Requests),
+		Completed:     f.completed,
+		SimSeconds:    end,
+		MaxQueueDepth: f.maxDepth,
+		QueueOverTime: f.samples,
+		PrefillSteps:  f.prefillSteps,
+		DecodeSteps:   f.decodeSteps,
+	}
+	if end > 0 {
+		m.TokensPerSecond = float64(f.decodedTokens) / end
+		m.RequestsPerSecond = float64(f.completed) / end
+		m.MeanQueueDepth = f.depthArea / end
+	}
+	m.TotalEnergyJoules = f.totalEnergy
+	if f.completed > 0 {
+		m.EnergyPerRequestJoules = f.totalEnergy / float64(f.completed)
+	}
+	if f.decodeSteps > 0 {
+		m.MeanBatch = float64(f.batchSum) / float64(f.decodeSteps)
+	}
+	m.P50LatencySeconds = percentile(f.latencies, 50)
+	m.P99LatencySeconds = percentile(f.latencies, 99)
+	m.MeanLatencySeconds = mean(f.latencies)
+	m.P50TTFTSeconds = percentile(f.ttfts, 50)
+	m.P99TTFTSeconds = percentile(f.ttfts, 99)
+	for _, g := range f.groups {
+		util := 0.0
+		if end > 0 {
+			util = g.busySeconds / end
+		}
+		m.GroupUtilization = append(m.GroupUtilization, util)
+	}
+	return m
+}
+
+// percentile is the nearest-rank percentile of the values (0 when
+// empty). The input is copied before sorting: completion order is part
+// of the deterministic record.
+func percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := make([]float64, len(values))
+	copy(s, values)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+func mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range values {
+		total += v
+	}
+	return total / float64(len(values))
+}

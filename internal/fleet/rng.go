@@ -1,0 +1,33 @@
+package fleet
+
+import "math"
+
+// rng is a splitmix64 generator: a tiny, allocation-free,
+// reproducible stream fully determined by its seed. The fleet owns
+// its generator per trace, so arrival schedules never depend on
+// math/rand global state, worker count, or call interleaving.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// exp returns an exponentially distributed value with mean 1 (the
+// Poisson inter-arrival kernel).
+func (r *rng) exp() float64 {
+	return -math.Log(1 - r.float64())
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

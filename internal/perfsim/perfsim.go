@@ -796,6 +796,9 @@ func (s *sim) runPipeline() float64 {
 
 func queryRowsOf(d *deploy.Deployment) int {
 	if d.Mode == model.Autoregressive {
+		if d.Batch > 1 {
+			return d.Batch
+		}
 		return 1
 	}
 	return d.SeqLen

@@ -44,6 +44,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"mcudist/internal/core"
@@ -55,7 +56,11 @@ import (
 // or the simulator's semantics change in a way that should invalidate
 // cached results; old entries (and old log files, which carry the
 // version in their name) are then ignored wholesale.
-const DigestVersion = 1
+//
+// v2: core.Workload gained the Batch field (decode micro-batch
+// width), which changes the canonical %#v rendering of every
+// workload.
+const DigestVersion = 2
 
 // Digest returns the canonical content address of one evaluation
 // point: a versioned sha256 over an exact rendering of every System
@@ -357,6 +362,110 @@ func (s *Store) writeLineLocked(line []byte) (int64, error) {
 	}
 	s.tornTail = false
 	return offset, nil
+}
+
+// CompactTo rewrites the store into dstDir, keeping only the newest
+// valid record per digest (duplicates from concurrent writers, corrupt
+// lines, torn tails, and foreign-version records are all dropped) and
+// each referenced per-edge table wiring once. The source store is not
+// modified — CI swaps the compacted directory in place of the old one
+// — and the returned store is open for use. Records are written in
+// digest order, so compacting equal contents yields byte-identical
+// logs. Compacting a store onto its own directory is rejected.
+func (s *Store) CompactTo(dstDir string) (*Store, error) {
+	if same, err := sameDirAs(s.dir, dstDir); err != nil {
+		return nil, err
+	} else if same {
+		return nil, fmt.Errorf("resultstore: compact target %q is the store's own directory", dstDir)
+	}
+
+	s.mu.Lock()
+	digests := make([]string, 0, len(s.index))
+	refs := make(map[string]entryRef, len(s.index))
+	for d, ref := range s.index {
+		digests = append(digests, d)
+		refs[d] = ref
+	}
+	tables := make([]string, 0, len(s.tables))
+	for t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.Unlock()
+	sort.Strings(digests)
+	sort.Strings(tables)
+
+	dst, err := Open(dstDir)
+	if err != nil {
+		return nil, err
+	}
+	src, err := os.Open(s.path)
+	if err != nil {
+		dst.Close()
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	defer src.Close()
+
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	for _, t := range tables {
+		// The scan re-registered every persisted wiring, so the edges
+		// are available to re-encode.
+		if err := dst.appendTableLocked(t); err != nil {
+			dst.file.Close()
+			return nil, err
+		}
+	}
+	for _, digest := range digests {
+		ref := refs[digest]
+		line := make([]byte, ref.length)
+		if _, err := io.ReadFull(io.NewSectionReader(src, ref.offset, int64(ref.length)), line); err != nil {
+			dst.file.Close()
+			return nil, fmt.Errorf("resultstore: compact read %s: %w", digest, err)
+		}
+		// Re-validate before copying: the record was clean at scan
+		// time, but the bytes travel once more.
+		var rec record
+		if json.Unmarshal(line, &rec) != nil || rec.Kind != "report" ||
+			rec.Digest != digest || crc32.ChecksumIEEE(rec.Report) != rec.CRC {
+			continue
+		}
+		trimmed := line
+		if n := len(trimmed); n > 0 && trimmed[n-1] == '\n' {
+			trimmed = trimmed[:n-1]
+		}
+		if _, ok := dst.index[digest]; ok {
+			continue
+		}
+		offset, err := dst.writeLineLocked(trimmed)
+		if err != nil {
+			dst.file.Close()
+			return nil, err
+		}
+		dst.index[digest] = entryRef{offset: offset, length: len(trimmed) + 1}
+	}
+	return dst, nil
+}
+
+// sameDirAs reports whether two directory paths name the same place on
+// disk (lexically after Abs, or the same inode when both exist).
+func sameDirAs(a, b string) (bool, error) {
+	aa, err := filepath.Abs(a)
+	if err != nil {
+		return false, fmt.Errorf("resultstore: %w", err)
+	}
+	ab, err := filepath.Abs(b)
+	if err != nil {
+		return false, fmt.Errorf("resultstore: %w", err)
+	}
+	if aa == ab {
+		return true, nil
+	}
+	fa, errA := os.Stat(aa)
+	fb, errB := os.Stat(ab)
+	if errA != nil || errB != nil {
+		return false, nil // at most one exists; they cannot be the same
+	}
+	return os.SameFile(fa, fb), nil
 }
 
 // Len returns the number of distinct persisted configurations.

@@ -2,6 +2,7 @@ package resultstore
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -29,7 +30,7 @@ func mustRun(t *testing.T, sys core.System, wl core.Workload) *core.Report {
 }
 
 func logPath(dir string) string {
-	return filepath.Join(dir, "results-v1.log")
+	return filepath.Join(dir, fmt.Sprintf("results-v%d.log", DigestVersion))
 }
 
 // A persisted report must round-trip exactly: every field the
@@ -86,7 +87,7 @@ func TestDigest(t *testing.T) {
 	if d, d2 := Digest(sys, wl), Digest(sys, wl); d != d2 {
 		t.Errorf("digest not deterministic: %s vs %s", d, d2)
 	}
-	if !strings.HasPrefix(Digest(sys, wl), "v1-") {
+	if !strings.HasPrefix(Digest(sys, wl), fmt.Sprintf("v%d-", DigestVersion)) {
 		t.Errorf("digest %q does not carry its version", Digest(sys, wl))
 	}
 	sys8 := sys
@@ -233,7 +234,7 @@ func TestDigestVersionMismatchInvalidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	doctored := strings.Replace(string(raw), `"v":1`, `"v":0`, 1)
+	doctored := strings.Replace(string(raw), fmt.Sprintf(`"v":%d`, DigestVersion), `"v":0`, 1)
 	if doctored == string(raw) {
 		t.Fatal("no version field found to doctor")
 	}
@@ -408,5 +409,100 @@ func TestLogIsJSONLines(t *testing.T) {
 		if err := json.Unmarshal([]byte(line), &v); err != nil {
 			t.Errorf("line %d is not standalone JSON: %v", i, err)
 		}
+	}
+}
+
+// CompactTo must keep exactly the newest valid record per digest and
+// drop duplicate and damaged lines: a store written by two concurrent
+// handles (each blind to the other's appends) plus a torn final write
+// compacts to one clean record per configuration, with the newest
+// duplicate winning.
+func TestCompactTo(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir) // scanned before s1 writes: will duplicate
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysA, wlA := testPoint(2)
+	sysB, wlB := testPoint(4)
+	repA := mustRun(t, sysA, wlA)
+	repB := mustRun(t, sysB, wlB)
+	if err := s1.Append(sysA, wlA, repA); err != nil {
+		t.Fatal(err)
+	}
+	// s2 re-appends the same digest with a doctored payload, so the
+	// log holds two different records for it; the newest must win.
+	newer := *repA
+	newer.Cycles += 1000
+	if err := s2.Append(sysA, wlA, &newer); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Append(sysB, wlB, repB); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	s2.Close()
+
+	// A writer dies mid-record: the log gains a torn tail.
+	f, err := os.OpenFile(logPath(dir), os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"report","v":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	src, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Skipped() != 1 {
+		t.Fatalf("source skipped %d records, want 1 (the torn tail)", src.Skipped())
+	}
+
+	if _, err := src.CompactTo(dir); err == nil {
+		t.Fatal("compacting a store onto its own directory was accepted")
+	}
+
+	dstDir := t.TempDir()
+	dst, err := src.CompactTo(dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 2 {
+		t.Errorf("compacted store holds %d entries, want 2", dst.Len())
+	}
+	if dst.SizeBytes() >= src.SizeBytes() {
+		t.Errorf("compacted log (%d bytes) not smaller than source (%d bytes)",
+			dst.SizeBytes(), src.SizeBytes())
+	}
+	gotA, ok := dst.Load(sysA, wlA)
+	if !ok {
+		t.Fatal("compacted store missed the duplicated entry")
+	}
+	if gotA.Cycles != newer.Cycles {
+		t.Errorf("compacted store kept cycles %g, want the newest duplicate's %g",
+			gotA.Cycles, newer.Cycles)
+	}
+	if gotB, ok := dst.Load(sysB, wlB); !ok || !reflect.DeepEqual(gotB, repB) {
+		t.Error("compacted store lost or altered the second entry")
+	}
+	dst.Close()
+
+	// The compacted log reopens clean: no skipped records, same index.
+	re, err := Open(dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Skipped() != 0 {
+		t.Errorf("compacted log skipped %d records on reopen, want 0", re.Skipped())
+	}
+	if re.Len() != 2 {
+		t.Errorf("reopened compacted store holds %d entries, want 2", re.Len())
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"mcudist/internal/deploy"
 	"mcudist/internal/evalpool"
 	"mcudist/internal/explore"
+	"mcudist/internal/fleet"
 	"mcudist/internal/hw"
 	"mcudist/internal/model"
 	"mcudist/internal/numeric"
@@ -116,6 +117,31 @@ type (
 	// EvalStats is the evaluation engine's cache-tier counters
 	// (memory hits / disk hits / exact simulations).
 	EvalStats = evalpool.Stats
+)
+
+// Fleet-serving API: event-driven serving of a request stream over
+// chip groups with continuous batching of decode steps, every step
+// priced through the cached cost oracle (see RunFleet).
+type (
+	// FleetRequest is one serving request: arrival time, prompt
+	// length, and decode budget.
+	FleetRequest = fleet.Request
+	// FleetTrace is a request stream (see FleetPoissonTrace).
+	FleetTrace = fleet.Trace
+	// FleetTraceOptions parameterizes the seeded Poisson generator.
+	FleetTraceOptions = fleet.TraceOptions
+	// FleetOptions configures a fleet run: the trace, the per-group
+	// system, group count, decode micro-batch cap, and autotuning.
+	FleetOptions = fleet.Options
+	// FleetMetrics is the deterministic serving-metric set: latency
+	// percentiles, TTFT, tokens/sec, energy, queue depth over time,
+	// and per-group utilization.
+	FleetMetrics = fleet.Metrics
+	// FleetQueueSample is one point of the queue-depth timeline.
+	FleetQueueSample = fleet.QueueSample
+	// FleetResult pairs the metrics with oracle accounting (distinct
+	// step shapes, exact simulations) and the adopted collective plan.
+	FleetResult = fleet.Result
 )
 
 // Model description API.
@@ -473,3 +499,17 @@ func ParseNetworkProfile(s string) (NetworkProfile, error) { return hw.ParseNetw
 func NetworkFrontier(base System, wl Workload, chips []int, nets []Network) ([]NetworkPoint, error) {
 	return explore.NetworkFrontier(base, wl, chips, nets)
 }
+
+// RunFleet serves a request trace on a fleet of chip groups with
+// continuous batching of decode steps. Every step is priced through
+// the cached cost oracle — the memory memo, the persistent result
+// store (SetResultStore), then exact simulation — so a warm store
+// replays any trace length with zero exact simulations. Metrics are a
+// pure function of the trace, the system, and the options: identical
+// across runs, worker counts, and cache states.
+func RunFleet(opts FleetOptions) (*FleetResult, error) { return fleet.Run(opts) }
+
+// FleetPoissonTrace generates a seeded Poisson request stream with
+// mixed prompt lengths and decode budgets; equal options yield
+// byte-identical traces.
+func FleetPoissonTrace(opts FleetTraceOptions) FleetTrace { return fleet.PoissonTrace(opts) }

@@ -24,6 +24,7 @@ import (
 
 	"mcudist/internal/evalpool"
 	"mcudist/internal/experiments"
+	"mcudist/internal/prof"
 	"mcudist/internal/report"
 	"mcudist/internal/resultstore"
 )
@@ -40,7 +41,20 @@ func main() {
 	backhaul := flag.Float64("backhaul", 10, "network ablation: inter-cluster bandwidth slowdown vs MIPI")
 	cacheDir := flag.String("cache-dir", "", "persistent result store directory: configurations simulated once are reloaded on every later run (default off; falls back to $MCUDIST_CACHE)")
 	cacheStats := flag.Bool("cache-stats", false, "print memory-hit / disk-hit / exact-simulation counts and store size to stderr at exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+	}()
 	evalpool.SetWorkers(*workers)
 	store, err := openCache(*cacheDir)
 	if err != nil {

@@ -35,6 +35,7 @@ import (
 	"mcudist/internal/fleet"
 	"mcudist/internal/hw"
 	"mcudist/internal/model"
+	"mcudist/internal/prof"
 	"mcudist/internal/report"
 	"mcudist/internal/resultstore"
 )
@@ -60,11 +61,23 @@ func main() {
 		groups     = flag.Int("groups", 1, "fleet: independent chip groups (each -chips wide)")
 		maxBatch   = flag.Int("max-batch", 0, "fleet: decode micro-batch cap per group (0 = default 8; 1 = no batching)")
 		fleetTune  = flag.Bool("fleet-autotune", false, "fleet: pick each group's collective plan with the session autotuner")
+		fleetSlow  = flag.Bool("fleet-serial", false, "fleet: disable the parallel shape pre-pricing pass and price every step lazily inside the serial event loop (the reference path; output is byte-identical either way)")
 		workers    = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", "", "persistent result store directory: configurations simulated once are reloaded on every later run (default off; falls back to $MCUDIST_CACHE)")
 		cacheStats = flag.Bool("cache-stats", false, "print memory-hit / disk-hit / exact-simulation counts and store size to stderr after the sweep")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 	evalpool.SetWorkers(*workers)
 	store, err := openCache(*cacheDir)
 	if err != nil {
@@ -120,7 +133,7 @@ func main() {
 		if len(chips) != 1 {
 			fatal(fmt.Errorf("-fleet takes a single -chips value (group width), got %v", chips))
 		}
-		fleetSweep(cfg, chips[0], *rates, *requests, *seed, *groups, *maxBatch, *fleetTune)
+		fleetSweep(cfg, chips[0], *rates, *requests, *seed, *groups, *maxBatch, *fleetTune, *fleetSlow)
 		return
 	}
 	wl := core.Workload{Model: cfg, Mode: mode, SeqLen: *seqLen}
@@ -210,7 +223,7 @@ func sessionSweep(topo hw.Topology, network hw.Network, cfg model.Config, seqLen
 // metrics of a chip-group fleet under a seeded Poisson trace. The plan
 // column uses the "+"-joined spelling (empty when -fleet-autotune is
 // off) and pastes straight back into -plan.
-func fleetSweep(cfg model.Config, chipsPerGroup int, rateList string, requests int, seed uint64, groups, maxBatch int, autotune bool) {
+func fleetSweep(cfg model.Config, chipsPerGroup int, rateList string, requests int, seed uint64, groups, maxBatch int, autotune, serial bool) {
 	var rates []float64
 	for _, part := range strings.Split(rateList, ",") {
 		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
@@ -230,11 +243,12 @@ func fleetSweep(cfg model.Config, chipsPerGroup int, rateList string, requests i
 			Trace: fleet.PoissonTrace(fleet.TraceOptions{
 				Requests: requests, RatePerSecond: rate, Seed: seed,
 			}),
-			System:   core.DefaultSystem(chipsPerGroup),
-			Model:    cfg,
-			Groups:   groups,
-			MaxBatch: maxBatch,
-			Autotune: autotune,
+			System:     core.DefaultSystem(chipsPerGroup),
+			Model:      cfg,
+			Groups:     groups,
+			MaxBatch:   maxBatch,
+			Autotune:   autotune,
+			NoPrePrice: serial,
 		})
 		if err != nil {
 			fatal(fmt.Errorf("rate %g: %w", rate, err))

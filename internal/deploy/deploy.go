@@ -162,14 +162,49 @@ func NewBatched(p *partition.Plan, hwp hw.Params, mode model.Mode, s, batch int,
 		BcastPayload:  p.BcastPayloadBytes(queryRows(mode, s, batch)),
 	}
 
+	// Chips with the same plan-level shares lower to identical
+	// deployments, so each distinct signature is lowered once and the
+	// ChipDeploy is reused (the op slices are read-only downstream).
+	// Uniform plans lower one chip instead of p.Chips.
+	var split []partition.Range
+	if p.Strategy == partition.Replicated {
+		split = p.SeqSplit(queryRows(mode, s, batch))
+	}
+	seen := make(map[chipSig]int, 4)
 	for chip := 0; chip < p.Chips; chip++ {
+		sig := chipSig{
+			pslice:      p.PSlice(chip),
+			kvw:         p.KVWidth(chip),
+			fw:          p.FWidth(chip),
+			blocks:      p.BlocksOnChip(chip),
+			blockWeight: p.BlockWeightBytesOnChip(chip),
+			kvPerBlock:  p.KVBytesPerBlockOnChip(chip, s),
+		}
+		if split != nil {
+			sig.rows = split[chip].Len()
+		}
+		if prev, ok := seen[sig]; ok {
+			cd := d.Chips[prev]
+			cd.Chip = chip
+			d.Chips = append(d.Chips, cd)
+			continue
+		}
 		cd, err := lowerChip(p, chip, hwp, mode, s, batch, commTile, opts)
 		if err != nil {
 			return nil, err
 		}
+		seen[sig] = len(d.Chips)
 		d.Chips = append(d.Chips, cd)
 	}
 	return d, nil
+}
+
+// chipSig captures every per-chip input of lowerChip: the chip's
+// tensor-parallel shares, its block placement and weight bytes, its
+// per-block KV requirement, and (replicated strategy only) its
+// sequence-split rows. Equal signatures lower identically.
+type chipSig struct {
+	pslice, kvw, fw, blocks, blockWeight, kvPerBlock, rows int
 }
 
 func lowerChip(p *partition.Plan, chip int, hwp hw.Params, mode model.Mode, s, batch, commTile int, opts Options) (ChipDeploy, error) {

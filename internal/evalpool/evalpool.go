@@ -22,6 +22,13 @@
 // disk hits / exact simulations) so searches and CLIs can report
 // exactly what a cache saved.
 //
+// Cold-cache concurrency is singleflighted: when N workers race on
+// the same uncached point, one evaluation runs and the other N-1 wait
+// for it and share its result, so exactly one exact simulation (or
+// disk read) ever executes per distinct point — a guarantee that
+// holds even across Reset, because the in-flight registry survives
+// the cache drop.
+//
 // Reports returned by the engine may be shared between callers and
 // must be treated as immutable.
 package evalpool
@@ -69,8 +76,17 @@ type Pool struct {
 	// store is the optional persistent tier (nil when detached).
 	store atomic.Pointer[resultstore.Store]
 
-	mu    sync.Mutex
-	cache map[Point]*cacheEntry
+	mu sync.Mutex
+	// cache/errs hold settled evaluations (errors are memoized
+	// in-process only, never persisted); inflight is the singleflight
+	// registry: at most one evaluation per Point is ever running, and
+	// every concurrent requester of that Point waits on the same
+	// flight. inflight deliberately survives Reset — a result being
+	// computed when the cache is dropped still settles once and is
+	// shared by everyone already waiting on it.
+	cache    map[Point]*core.Report
+	errs     map[Point]error
+	inflight map[Point]*flight
 }
 
 // Stats is a snapshot of a pool's cache-tier counters. All three
@@ -85,11 +101,11 @@ type Stats struct {
 	Simulations uint64
 }
 
-// cacheEntry memoizes one evaluation. The first requester runs
-// core.Run inside the sync.Once; concurrent requesters of the same
-// Point block on the Once and then read the settled result.
-type cacheEntry struct {
-	once sync.Once
+// flight is one in-progress evaluation shared by every concurrent
+// requester of the same Point: the owner fills rep/err and closes
+// done; joiners block on done and read the settled result.
+type flight struct {
+	done chan struct{}
 	rep  *core.Report
 	err  error
 }
@@ -100,57 +116,95 @@ func New(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers, cache: make(map[Point]*cacheEntry)}
+	return &Pool{
+		workers:  workers,
+		cache:    make(map[Point]*core.Report),
+		errs:     make(map[Point]error),
+		inflight: make(map[Point]*flight),
+	}
 }
 
 // Workers returns the pool's concurrency limit.
 func (p *Pool) Workers() int { return p.workers }
 
-// Reset drops every memoized report. In-flight evaluations settle
-// into the old entries and are simply no longer shared afterwards.
+// Reset drops every memoized report (and memoized error). In-flight
+// evaluations are untouched: they settle exactly once into the
+// post-Reset cache, still shared by every requester that joined them.
 func (p *Pool) Reset() {
 	p.mu.Lock()
-	p.cache = make(map[Point]*cacheEntry)
+	p.cache = make(map[Point]*core.Report)
+	p.errs = make(map[Point]error)
 	p.mu.Unlock()
 }
 
 // Run evaluates one point through the cache tiers: the in-process
 // memo first, then the attached persistent store (if any), and only
 // then an exact core.Run — whose successful report is appended to the
-// store for every later process. Failed evaluations are memoized for
-// this process's lifetime (until Reset) but never persisted.
+// store for every later process. Concurrent requests for the same
+// point are collapsed into one in-flight evaluation (simulation
+// singleflight): exactly one core.Run executes per point no matter
+// how many workers race on a cold cache, and the registry survives
+// Reset so not even a cache drop can double-simulate a point. Failed
+// evaluations are memoized for this process's lifetime (until Reset)
+// but never persisted.
 func (p *Pool) Run(sys core.System, wl core.Workload) (*core.Report, error) {
 	key := Point{System: sys, Workload: wl}
 	p.mu.Lock()
-	e, ok := p.cache[key]
-	if !ok {
-		e = &cacheEntry{}
-		p.cache[key] = e
+	if rep, ok := p.cache[key]; ok {
+		p.mu.Unlock()
+		p.memHits.Add(1)
+		return rep, nil
+	}
+	if err, ok := p.errs[key]; ok {
+		p.mu.Unlock()
+		p.memHits.Add(1)
+		return nil, err
+	}
+	if f, ok := p.inflight[key]; ok {
+		p.mu.Unlock()
+		p.memHits.Add(1)
+		<-f.done
+		return f.rep, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	p.inflight[key] = f
+	p.mu.Unlock()
+
+	f.rep, f.err = p.fill(sys, wl)
+
+	p.mu.Lock()
+	delete(p.inflight, key)
+	if f.err == nil {
+		p.cache[key] = f.rep
+	} else {
+		p.errs[key] = f.err
 	}
 	p.mu.Unlock()
-	if ok {
-		p.memHits.Add(1)
+	close(f.done)
+	return f.rep, f.err
+}
+
+// fill resolves one memory miss: the persistent store if attached,
+// an exact simulation otherwise. Exactly one fill runs per point at
+// any time (the caller holds the point's flight).
+func (p *Pool) fill(sys core.System, wl core.Workload) (*core.Report, error) {
+	p.evals.Add(1)
+	if s := p.store.Load(); s != nil {
+		if rep, hit := s.Load(sys, wl); hit {
+			p.diskHits.Add(1)
+			return rep, nil
+		}
 	}
-	e.once.Do(func() {
-		p.evals.Add(1)
+	p.sims.Add(1)
+	rep, err := core.Run(sys, wl)
+	if err == nil {
 		if s := p.store.Load(); s != nil {
-			if rep, hit := s.Load(sys, wl); hit {
-				p.diskHits.Add(1)
-				e.rep = rep
-				return
-			}
+			// A failed append degrades the store to a smaller cache,
+			// never the evaluation itself.
+			_ = s.Append(sys, wl, rep)
 		}
-		p.sims.Add(1)
-		e.rep, e.err = core.Run(sys, wl)
-		if e.err == nil {
-			if s := p.store.Load(); s != nil {
-				// A failed append degrades the store to a smaller cache,
-				// never the evaluation itself.
-				_ = s.Append(sys, wl, e.rep)
-			}
-		}
-	})
-	return e.rep, e.err
+	}
+	return rep, err
 }
 
 // SetStore attaches (or, with nil, detaches) a persistent result

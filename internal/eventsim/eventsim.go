@@ -96,6 +96,19 @@ func NewEngine() *Engine {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
+// Reset returns the engine to its initial state — clock at zero, no
+// queued events, counters cleared — keeping the queue's backing array
+// so a recycled engine schedules without reallocating. Arena reuse
+// (perfsim's pooled simulations) resets one engine per run instead of
+// allocating one.
+func (e *Engine) Reset() {
+	clear(e.queue) // release callback references
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.events = 0
+}
+
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.events }
 
@@ -166,6 +179,14 @@ type Resource struct {
 // NewResource creates a resource bound to an engine.
 func NewResource(eng *Engine, name string) *Resource {
 	return &Resource{eng: eng, name: name}
+}
+
+// Init (re)binds the resource to an engine with fresh state, in place.
+// It is the arena-reuse counterpart of NewResource: a pooled simulation
+// keeps a dense slice of Resource values and re-initializes them per
+// run instead of allocating each behind a pointer.
+func (r *Resource) Init(eng *Engine, name string) {
+	*r = Resource{eng: eng, name: name}
 }
 
 // Name returns the resource's diagnostic name.

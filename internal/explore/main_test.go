@@ -1,0 +1,47 @@
+package explore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcudist/internal/evalpool"
+	"mcudist/internal/resultstore"
+)
+
+// TestMain binds one shared persistent result store to the default
+// evalpool for the whole package run. The exhaustive-equivalence tests
+// call evalpool.ResetCache() around each leg to isolate their
+// in-process memo; without a second cache tier every reset forced the
+// full exact-simulation grid to re-run, which dominated the package's
+// wall time. With the store bound, a reset leg replays the persisted
+// reports byte-identically instead of re-simulating, and the store is
+// discarded with the temp directory afterwards so runs stay hermetic.
+func TestMain(m *testing.M) {
+	code, err := runWithSharedStore(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explore: shared store fixture:", err)
+		code = 1
+	}
+	os.Exit(code)
+}
+
+func runWithSharedStore(m *testing.M) (int, error) {
+	dir, err := os.MkdirTemp("", "explore-store-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := resultstore.Open(filepath.Join(dir, "results"))
+	if err != nil {
+		return 0, err
+	}
+	evalpool.SetStore(store)
+	code := m.Run()
+	evalpool.SetStore(nil)
+	if err := store.Close(); err != nil {
+		return 0, err
+	}
+	return code, nil
+}

@@ -21,12 +21,23 @@
 // counts and runs at a fixed seed: concurrency only ever lives in the
 // oracle pool, whose results are byte-identical by evalpool's own
 // guarantee.
+//
+// Before the serial replay starts, a dry pre-pricing pass enumerates
+// the speculative shape rectangle the trace can touch (every distinct
+// prompt length at batch 1, every context bucket a decoding session
+// can cross at every micro-batch width up to the cap) and prices it
+// through evalpool workers-wide. The replay then runs as pure memory
+// hits, so a cold fleet run pays its exact simulations in parallel
+// instead of one at a time inside the event loop. Options.NoPrePrice
+// forces the lazy reference path the pass is pinned byte-identical to.
 package fleet
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mcudist/internal/collective"
 	"mcudist/internal/core"
@@ -142,6 +153,10 @@ type Options struct {
 	// context. Prompts are priced at their exact length — a trace's
 	// distinct prompt lengths bound those shapes already.
 	ContextBucket int
+	// NoPrePrice disables the parallel shape pre-pricing pass, pricing
+	// every step shape lazily inside the strictly-serial event loop —
+	// the reference path pre-pricing is pinned byte-identical to.
+	NoPrePrice bool
 	// Autotune runs explore.AutotuneSession once on the group system
 	// and adopts the winning per-sync collective plan for every group,
 	// so fleet throughput inherits the per-sync plan wins.
@@ -209,7 +224,9 @@ type Metrics struct {
 type Result struct {
 	Metrics Metrics
 	// DistinctShapes is how many distinct step shapes the run priced —
-	// the upper bound on exact simulations a cold run pays.
+	// the speculative pre-pricing rectangle united with anything the
+	// replay priced lazily — and the upper bound on exact simulations
+	// a cold run pays.
 	DistinctShapes int
 	// ExactSims is how many exact core.Run simulations this run
 	// actually executed (the process-wide evalpool delta): positive on
@@ -253,6 +270,14 @@ type group struct {
 	active      []*session // admitted sessions, admission order
 	busy        bool
 	busySeconds float64
+	// The in-flight step (at most one per group, guarded by busy) is
+	// parked in step* and consumed by the reusable finish callback, so
+	// scheduling a step allocates no closure.
+	stepPrefill *session // non-nil → prefill step; nil → decode step
+	stepWidth   int
+	stepJoules  float64
+	stepEnd     float64
+	finish      func()
 }
 
 func (g *group) outstanding() int { return len(g.promptQ) + len(g.active) }
@@ -264,6 +289,22 @@ type fleet struct {
 	eng    *eventsim.Engine
 	groups []*group
 	prices map[shapeKey]stepCost
+	// last* is a one-entry fast path over prices: consecutive steps
+	// overwhelmingly repeat the previous step's shape (a decode batch
+	// keeps its width and bucket for many tokens), so the hot loop
+	// usually skips the map hash entirely.
+	lastKey   shapeKey
+	lastCost  stepCost
+	lastValid bool
+	// Arrival feed: reqs is sorted by arrival time and fed into the
+	// event queue one request at a time by the reusable arriveNext
+	// callback. Scheduling arrivals lazily keeps the event heap a few
+	// entries deep (next arrival + one in-flight step per group)
+	// instead of pre-loading every request, and avoids allocating a
+	// Request-capturing closure per arrival.
+	reqs       []Request
+	nextReq    int
+	arriveNext func()
 
 	// depth accounting (requests in system, all groups)
 	depth       int
@@ -345,20 +386,42 @@ func Run(opts Options) (*Result, error) {
 		stride: 1,
 	}
 	for i := 0; i < groups; i++ {
-		f.groups = append(f.groups, &group{id: i})
+		g := &group{id: i}
+		g.finish = func() {
+			if s := g.stepPrefill; s != nil {
+				g.stepPrefill = nil
+				f.finishPrefill(g, s, g.stepEnd)
+			} else {
+				f.finishDecode(g, g.stepWidth, g.stepJoules, g.stepEnd)
+			}
+		}
+		f.groups = append(f.groups, g)
 	}
 
 	// Arrivals are sorted defensively (stable, so equal times keep
-	// trace order) and scheduled up front; everything after runs off
-	// the event queue.
+	// trace order) and fed lazily: only the next arrival sits in the
+	// event queue, and delivering it schedules the one after. The
+	// next arrival is scheduled before the delivered request is
+	// processed so simultaneous arrivals still run in trace order.
 	reqs := make([]Request, len(opts.Trace.Requests))
 	copy(reqs, opts.Trace.Requests)
 	sort.SliceStable(reqs, func(i, j int) bool {
 		return reqs[i].ArrivalSeconds < reqs[j].ArrivalSeconds
 	})
-	for i := range reqs {
-		req := reqs[i]
-		f.eng.At(req.ArrivalSeconds, func() { f.arrive(req) })
+	f.reqs = reqs
+	f.arriveNext = func() {
+		i := f.nextReq
+		f.nextReq++
+		if f.nextReq < len(f.reqs) {
+			f.eng.At(f.reqs[f.nextReq].ArrivalSeconds, f.arriveNext)
+		}
+		f.arrive(f.reqs[i])
+	}
+	if len(reqs) > 0 {
+		f.eng.At(reqs[0].ArrivalSeconds, f.arriveNext)
+	}
+	if !opts.NoPrePrice {
+		f.prePrice(reqs)
 	}
 	end := f.eng.Run()
 	if f.err != nil {
@@ -415,7 +478,11 @@ func (f *fleet) bucket(n int) int {
 // probe per step.
 func (f *fleet) price(mode model.Mode, seqLen, batch int) (stepCost, error) {
 	key := shapeKey{mode: mode, seqLen: seqLen, batch: batch}
+	if f.lastValid && key == f.lastKey {
+		return f.lastCost, nil
+	}
 	if c, ok := f.prices[key]; ok {
+		f.lastKey, f.lastCost, f.lastValid = key, c, true
 		return c, nil
 	}
 	rep, err := evalpool.Run(f.sys, core.Workload{Model: f.opts.Model, Mode: mode, SeqLen: seqLen, Batch: batch})
@@ -424,7 +491,107 @@ func (f *fleet) price(mode model.Mode, seqLen, batch int) (stepCost, error) {
 	}
 	c := stepCost{seconds: rep.Seconds, joules: rep.Energy.Total()}
 	f.prices[key] = c
+	f.lastKey, f.lastCost, f.lastValid = key, c, true
 	return c, nil
+}
+
+// speculativeShapes enumerates every step shape the trace can touch:
+// each distinct prompt length at batch 1 and — when any request
+// decodes — every pricing bucket in the context range a decoding
+// session can cross, at every micro-batch width up to the cap. The
+// rectangle over-covers what the replay actually prices (a decode
+// step's bucketed context is a bucket multiple between the smallest
+// decoding prompt's bucket and the bucket of the longest session's
+// final context, and its width never exceeds the cap), and it is a
+// pure function of (trace, scheduler options): cold and warm runs of
+// the same options price the same set, so a warm store still replays
+// with zero exact simulations.
+func (f *fleet) speculativeShapes(reqs []Request) []shapeKey {
+	var shapes []shapeKey
+	seenPrompt := make(map[int]bool)
+	minCtx, maxCtx := 0, 0
+	decode := false
+	for i := range reqs {
+		r := &reqs[i]
+		if !seenPrompt[r.PromptLen] {
+			seenPrompt[r.PromptLen] = true
+			shapes = append(shapes, shapeKey{mode: model.Prompt, seqLen: r.PromptLen, batch: 1})
+		}
+		if r.DecodeTokens > 0 {
+			last := r.PromptLen + r.DecodeTokens - 1
+			if !decode || r.PromptLen < minCtx {
+				minCtx = r.PromptLen
+			}
+			if !decode || last > maxCtx {
+				maxCtx = last
+			}
+			decode = true
+		}
+	}
+	if decode {
+		step := f.opts.ContextBucket
+		if step == 0 {
+			step = 32
+		}
+		for ctx := f.bucket(minCtx); ctx <= f.bucket(maxCtx); ctx += step {
+			for width := 1; width <= f.maxBatch(); width++ {
+				shapes = append(shapes, shapeKey{mode: model.Autoregressive, seqLen: ctx, batch: width})
+			}
+		}
+	}
+	return shapes
+}
+
+// prePrice prices the speculative shape rectangle through evalpool
+// with the pool's worker width, then seeds the fleet-local memo so the
+// serial replay runs as pure memory hits. A speculative shape that
+// fails to evaluate is skipped, not fatal: the replay may never need
+// it, and if it does, the lazy path repeats the error and fails the
+// run exactly like the reference path. Prices are evalpool results
+// either way, so metrics are byte-identical to the lazy path.
+func (f *fleet) prePrice(reqs []Request) {
+	shapes := f.speculativeShapes(reqs)
+	costs := make([]stepCost, len(shapes))
+	ok := make([]bool, len(shapes))
+	price := func(i int) {
+		k := shapes[i]
+		rep, err := evalpool.Run(f.sys, core.Workload{Model: f.opts.Model, Mode: k.mode, SeqLen: k.seqLen, Batch: k.batch})
+		if err != nil {
+			return
+		}
+		costs[i] = stepCost{seconds: rep.Seconds, joules: rep.Energy.Total()}
+		ok[i] = true
+	}
+	if workers := evalpool.Default().Workers(); workers > 1 && len(shapes) > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		if workers > len(shapes) {
+			workers = len(shapes)
+		}
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(shapes) {
+						return
+					}
+					price(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range shapes {
+			price(i)
+		}
+	}
+	for i, k := range shapes {
+		if ok[i] {
+			f.prices[k] = costs[i]
+		}
+	}
 }
 
 // start schedules the group's next step if it is idle and has work:
@@ -451,7 +618,9 @@ func (f *fleet) start(g *group, now float64) {
 		f.prefillSteps++
 		g.busy = true
 		g.busySeconds += cost.seconds
-		f.eng.At(end, func() { f.finishPrefill(g, s, end) })
+		g.stepPrefill = s
+		g.stepEnd = end
+		f.eng.At(end, g.finish)
 	case len(g.active) > 0:
 		width := len(g.active)
 		if cap := f.maxBatch(); width > cap {
@@ -475,7 +644,11 @@ func (f *fleet) start(g *group, now float64) {
 		f.batchSum += int64(width)
 		g.busy = true
 		g.busySeconds += cost.seconds
-		f.eng.At(end, func() { f.finishDecode(g, width, cost.joules, end) })
+		g.stepPrefill = nil
+		g.stepWidth = width
+		g.stepJoules = cost.joules
+		g.stepEnd = end
+		f.eng.At(end, g.finish)
 	}
 }
 

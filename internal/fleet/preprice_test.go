@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"mcudist/internal/evalpool"
+	"mcudist/internal/resultstore"
+)
+
+// The pre-pricing pass is pinned to the serial reference path: the
+// speculative rectangle changes when shapes are priced and by whom,
+// never what a step costs. Metrics must be byte-identical across
+// NoPrePrice vs pre-priced, oracle worker counts, and cold vs warm
+// stores — and the rectangle must cover every shape the serial replay
+// prices.
+func TestFleetPrePricingDeterminismPin(t *testing.T) {
+	defer evalpool.SetWorkers(0)
+	opts := smallOptions(300, 40)
+	opts.Groups = 2
+
+	ref := opts
+	ref.NoPrePrice = true
+	evalpool.SetWorkers(1)
+	serial := mustFleet(t, ref)
+
+	evalpool.SetWorkers(1)
+	pre1 := mustFleet(t, opts)
+	if !reflect.DeepEqual(serial.Metrics, pre1.Metrics) {
+		t.Error("pre-priced metrics diverged from the serial reference path")
+	}
+	if pre1.DistinctShapes < serial.DistinctShapes {
+		t.Errorf("pre-priced rectangle has %d shapes, fewer than the %d the serial path priced",
+			pre1.DistinctShapes, serial.DistinctShapes)
+	}
+
+	// Rectangle coverage: a reference-path replay over the in-process
+	// memo the pre-priced run just filled must miss nothing.
+	replay := mustFleet(t, ref)
+	if replay.Evaluations != 0 {
+		t.Errorf("serial replay evaluated %d shapes outside the pre-priced rectangle, want 0",
+			replay.Evaluations)
+	}
+
+	evalpool.SetWorkers(8)
+	pre8 := mustFleet(t, opts)
+	if !reflect.DeepEqual(serial.Metrics, pre8.Metrics) {
+		t.Error("workers=8 pre-priced metrics diverged from the workers=1 serial reference")
+	}
+
+	// Cold vs warm across a persistent store, still workers-wide: the
+	// rectangle is a pure function of (trace, options), so the warm
+	// replay re-requests exactly what the cold run persisted.
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalpool.SetStore(store)
+	defer evalpool.SetStore(nil)
+	evalpool.ResetCache()
+	cold := mustFleet(t, opts)
+	evalpool.ResetCache()
+	warm := mustFleet(t, opts)
+	if warm.ExactSims != 0 {
+		t.Errorf("warm pre-priced run executed %d exact simulations, want 0", warm.ExactSims)
+	}
+	if !reflect.DeepEqual(cold.Metrics, warm.Metrics) {
+		t.Error("warm pre-priced metrics diverged from cold")
+	}
+	if !reflect.DeepEqual(cold.Metrics, serial.Metrics) {
+		t.Error("store-backed pre-priced metrics diverged from the serial reference")
+	}
+}

@@ -23,10 +23,16 @@
 // accumulations serialize on its cluster.
 // Collective payloads move in tiles, letting the broadcast of early
 // tiles overlap the reduction of later ones.
+//
+// The simulator is allocation-free on its hot path: all per-run
+// scratch state lives in a reusable Sim arena recycled through a
+// sync.Pool, and only the returned Result (copied out of the arena) is
+// freshly allocated per run.
 package perfsim
 
 import (
 	"fmt"
+	"sync"
 
 	"mcudist/internal/collective"
 	"mcudist/internal/deploy"
@@ -140,46 +146,126 @@ type classAccum struct {
 	syncs    int
 	cycles   float64
 	bytes    int64
-	// byLink is indexed like sim.classes (grown on demand, padded to
-	// the full axis at result assembly).
+	// byLink is indexed like Sim.classes (carved full-width from the
+	// arena once the class axis is final).
 	byLink []int64
 }
 
-type sim struct {
+// Sim is a reusable simulation arena: one Sim owns every piece of
+// per-run scratch state — the event engine, the chip and link
+// resources, the per-(chip, chunk) readiness matrices, the per-chip
+// and per-class accumulators, the tile buffers — and recycles all of
+// it across runs, so repeated simulations (sweeps, autotuning probes,
+// fleet step pricing) allocate only their Results. The package-level
+// Run/RunTraced draw Sims from an internal sync.Pool; construct one
+// with NewSim to pin an arena to a caller instead.
+//
+// A Sim is not safe for concurrent use. Results it returns are copied
+// out of the arena into fresh exact-size allocations, so they stay
+// valid (and immutable-shareable, as evalpool requires) across later
+// runs of the same Sim.
+type Sim struct {
 	d *deploy.Deployment
-	// sched is the run topology's schedule; scheds additionally holds
-	// one lowered schedule per topology the collective plan binds, so
-	// each synchronization executes the schedule of its own class.
+	// sched is the run topology's schedule. lows holds it (always at
+	// index 0) plus one lowered schedule per topology the collective
+	// plan binds, each with its hops' class ids interned once at
+	// setup, so the per-sync hop loops index the class axis directly
+	// instead of hashing a LinkClass per hop; scheds maps a bound
+	// topology to its index in lows.
 	sched  *interconnect.Schedule
-	scheds map[hw.Topology]*interconnect.Schedule
+	lows   []loweredSched
+	scheds map[hw.Topology]int32
 	// curClass is the synchronization class currently executing
 	// (classNone outside collectives), the axis hopOn attributes link
 	// activity to.
 	curClass collective.SyncClass
 	classAcc [collective.NumSyncClasses]classAccum
-	eng      *eventsim.Engine
-	cluster  []*eventsim.Resource
-	dma      []*eventsim.Resource
-	io       []*eventsim.Resource
-	// links holds one full-duplex resource per directed chip pair the
-	// schedule uses, created on demand.
-	links map[[2]int]*eventsim.Resource
+	eng      eventsim.Engine
+	// chipRes densely backs the per-chip exclusive devices; cluster,
+	// dma, and io are its thirds. linkRes holds one full-duplex
+	// resource per directed chip pair, indexed from*n+to (the hot-path
+	// replacement for a per-pair map of pointers).
+	chipRes []eventsim.Resource
+	cluster []eventsim.Resource
+	dma     []eventsim.Resource
+	io      []eventsim.Resource
+	linkRes []eventsim.Resource
+	n       int
 	// classes/classID intern the distinct link classes transfers
-	// cross (schedule classes first, pipeline-chain classes as they
-	// appear), defining the per-class accounting axis.
+	// cross (schedule classes first, pipeline-chain classes in chain
+	// order), defining the per-class accounting axis. The axis is
+	// complete before the simulation starts: every schedule lists its
+	// hops' classes and the pipeline chain is resolved up front.
 	classes []hw.LinkClass
 	classID map[hw.LinkClass]int
-	// pipeClasses[c] is the resolved class of the pipeline handoff
-	// edge c -> c+1 (pipeline strategy only).
-	pipeClasses []hw.LinkClass
-	stats       []ChipStats
-	syncs       int
-	commTile    int64
-	tl          *trace.Timeline
+	// pipeIDs[c] is the interned class id of the pipeline handoff edge
+	// c -> c+1 (pipeline strategy only).
+	pipeIDs []int32
+	stats   []ChipStats
+	// chipClassCycles/chipClassBytes back the per-chip per-class
+	// counters (n × len(classes), carved into stats[i]); accByLink
+	// backs the per-class byLink accumulators the same way.
+	chipClassCycles []float64
+	chipClassBytes  []int64
+	accByLink       []int64
+	syncs           int
+	commTile        int64
+	tl              *trace.Timeline
+	// sync/strategy scratch: flat per-(chip, chunk) readiness
+	// matrices, ping-pong arrival buffers (alternating so a caller's
+	// previous arrival slice stays valid while the next sync reads
+	// it), phase timelines, and payload tile buffers.
+	partial  []float64
+	has      []float64
+	syncA    []float64
+	syncB    []float64
+	flip     bool
+	phaseBuf []float64
+	tiles    []int64
+	bcast    []int64
+
+	// linkGen[i] records the generation that last initialized
+	// linkRes[i]; gen is bumped per run, so links are re-initialized
+	// lazily on first touch instead of sweeping all n*n slots — a run
+	// only ever uses the topology's edges, a small fraction of the
+	// dense pair matrix.
+	linkGen []uint32
+	gen     uint32
+
+	// Hardware scalars the per-kernel and per-hop paths read on every
+	// call, cached flat at setup so the hot path never copies the
+	// platform struct.
+	freqHz     float64
+	dmaL2BPC   float64
+	dmaL2Setup int
+	dmaL3BPC   float64
+	dmaL3Setup int
+	l1Tile     int64
+	strChip    int
+	strFactor  float64
+	degChip    int
+	degFactor  float64
 }
 
+// loweredSched is one schedule bound for this run plus the run-local
+// interned id of every hop's link class, resolved once at setup.
+type loweredSched struct {
+	sc     *interconnect.Schedule
+	reduce []int32 // class id per sc.Reduce hop
+	bcast  []int32 // class id per sc.Broadcast hop
+}
+
+// NewSim returns an empty arena. The zero Sim is ready to use; every
+// run sizes the scratch to its deployment.
+func NewSim() *Sim { return &Sim{} }
+
+// simPool recycles arenas across the package-level entry points:
+// concurrent evaluations (the evalpool workers) each borrow a Sim for
+// the duration of one run.
+var simPool = sync.Pool{New: func() any { return NewSim() }}
+
 // classIndex interns a link class into the per-class accounting axis.
-func (s *sim) classIndex(c hw.LinkClass) int {
+func (s *Sim) classIndex(c hw.LinkClass) int {
 	if id, ok := s.classID[c]; ok {
 		return id
 	}
@@ -189,18 +275,46 @@ func (s *sim) classIndex(c hw.LinkClass) int {
 	return id
 }
 
-// link returns the exclusive resource of the directed edge from->to.
-func (s *sim) link(from, to int) *eventsim.Resource {
-	key := [2]int{from, to}
-	if r, ok := s.links[key]; ok {
-		return r
+// link returns the exclusive resource of the directed edge from->to,
+// re-initializing the slot in place the first time this run touches
+// it. A run only exercises its topology's edges, so the generation
+// check replaces a per-run sweep of the whole n*n matrix.
+func (s *Sim) link(from, to int) *eventsim.Resource {
+	idx := from*s.n + to
+	if s.linkGen[idx] != s.gen {
+		s.linkGen[idx] = s.gen
+		s.linkRes[idx].Init(&s.eng, "")
 	}
-	r := eventsim.NewResource(s.eng, fmt.Sprintf("link%d-%d", from, to))
-	s.links[key] = r
-	return r
+	return &s.linkRes[idx]
 }
 
-func (s *sim) span(chip int, category, label string, start, end float64) {
+// lowerSched registers one schedule for this run: its classes join the
+// accounting axis in declaration order and every hop's class id is
+// resolved through the intern map once, here, instead of per sync.
+func (s *Sim) lowerSched(sc *interconnect.Schedule) int32 {
+	idx := int32(len(s.lows))
+	if len(s.lows) < cap(s.lows) {
+		s.lows = s.lows[:idx+1]
+	} else {
+		s.lows = append(s.lows, loweredSched{})
+	}
+	lo := &s.lows[idx]
+	lo.sc = sc
+	for _, c := range sc.Classes {
+		s.classIndex(c)
+	}
+	lo.reduce = lo.reduce[:0]
+	for i := range sc.Reduce {
+		lo.reduce = append(lo.reduce, int32(s.classIndex(sc.Reduce[i].Class)))
+	}
+	lo.bcast = lo.bcast[:0]
+	for i := range sc.Broadcast {
+		lo.bcast = append(lo.bcast, int32(s.classIndex(sc.Broadcast[i].Class)))
+	}
+	return idx
+}
+
+func (s *Sim) span(chip int, category, label string, start, end float64) {
 	if s.tl != nil && end > start {
 		s.tl.Add(chip, category, label, start, end)
 	}
@@ -214,6 +328,23 @@ func Run(d *deploy.Deployment) (*Result, error) {
 // RunTraced simulates the deployment, additionally recording every
 // kernel, DMA transfer, and link hop into tl (when non-nil).
 func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
+	s := simPool.Get().(*Sim)
+	res, err := s.RunTraced(d, tl)
+	// Drop the per-run references before pooling so a parked arena
+	// does not pin a deployment (or a timeline) alive.
+	s.d = nil
+	s.sched = nil
+	s.tl = nil
+	simPool.Put(s)
+	return res, err
+}
+
+// Run simulates the deployment on this arena.
+func (s *Sim) Run(d *deploy.Deployment) (*Result, error) { return s.RunTraced(d, nil) }
+
+// RunTraced simulates the deployment on this arena, recording spans
+// into tl when non-nil.
+func (s *Sim) RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 	n := d.Plan.Chips
 	var sched *interconnect.Schedule
 	var err error
@@ -238,27 +369,43 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 	if commTile == 0 {
 		commTile = deploy.DefaultCommTileBytes
 	}
-	s := &sim{
-		d:        d,
-		sched:    sched,
-		scheds:   map[hw.Topology]*interconnect.Schedule{sched.Topology: sched},
-		curClass: classNone,
-		eng:      eventsim.NewEngine(),
-		cluster:  make([]*eventsim.Resource, n),
-		dma:      make([]*eventsim.Resource, n),
-		io:       make([]*eventsim.Resource, n),
-		links:    make(map[[2]int]*eventsim.Resource),
-		classID:  make(map[hw.LinkClass]int),
-		stats:    make([]ChipStats, n),
-		commTile: commTile,
-		tl:       tl,
+
+	// Rebind the recycled arena to this run.
+	s.d = d
+	s.sched = sched
+	s.curClass = classNone
+	s.syncs = 0
+	s.commTile = commTile
+	s.tl = tl
+	s.n = n
+	s.flip = false
+	s.eng.Reset()
+	s.freqHz = d.HW.Chip.FreqHz
+	s.dmaL2BPC = d.HW.Chip.DMAL2L1BytesPerCycle
+	s.dmaL2Setup = d.HW.Chip.DMAL2L1SetupCycles
+	s.dmaL3BPC = d.HW.Chip.DMAL3L2BytesPerCycle
+	s.dmaL3Setup = d.HW.Chip.DMAL3L2SetupCycles
+	s.l1Tile = int64(d.HW.Chip.L1Bytes / 2)
+	s.strChip, s.strFactor = d.Options.StragglerChip, d.Options.StragglerFactor
+	s.degChip, s.degFactor = d.Options.DegradedLinkChip, d.Options.DegradedLinkFactor
+	if s.scheds == nil {
+		s.scheds = make(map[hw.Topology]int32, 4)
+	} else {
+		clear(s.scheds)
 	}
+	if s.classID == nil {
+		s.classID = make(map[hw.LinkClass]int, 4)
+	} else {
+		clear(s.classID)
+	}
+	s.classes = s.classes[:0]
+	s.lows = s.lows[:0]
+
 	// Seed the accounting axis with the schedule's classes so class
 	// order is deterministic (first reduce hop's class is class 0)
-	// regardless of which hop executes first.
-	for _, c := range sched.Classes {
-		s.classIndex(c)
-	}
+	// regardless of which hop executes first, and resolve the run
+	// schedule's per-hop class ids (lows index 0, schedFor's default).
+	s.scheds[sched.Topology] = s.lowerSched(sched)
 	// Resolve one schedule per topology the collective plan binds to a
 	// class this run executes, each lowered and validated against the
 	// network wiring up front (through the same intern cache as the run
@@ -285,31 +432,82 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("perfsim: collective plan: %w", err)
 			}
-			s.scheds[topo] = alt
-			for _, c := range alt.Classes {
-				s.classIndex(c)
-			}
+			s.scheds[topo] = s.lowerSched(alt)
 		}
-	}
-	for i := 0; i < n; i++ {
-		s.cluster[i] = eventsim.NewResource(s.eng, fmt.Sprintf("cluster%d", i))
-		s.dma[i] = eventsim.NewResource(s.eng, fmt.Sprintf("dma%d", i))
-		s.io[i] = eventsim.NewResource(s.eng, fmt.Sprintf("io%d", i))
 	}
 	if d.Plan.Strategy == partition.Pipeline {
 		// The pipeline handoff chain is not part of the collective
 		// schedule; resolve its edges against the network up front so
 		// an unwired chain edge fails before simulation, like any
-		// schedule hop over an undefined edge.
-		s.pipeClasses = make([]hw.LinkClass, n)
+		// schedule hop over an undefined edge. Interning in chain order
+		// matches the order the serial handoffs execute in.
+		if cap(s.pipeIDs) < n {
+			s.pipeIDs = make([]int32, n)
+		}
+		s.pipeIDs = s.pipeIDs[:n]
 		for c := 0; c+1 < n; c++ {
 			cls, err := d.HW.LinkFor(c, c+1)
 			if err != nil {
 				return nil, fmt.Errorf("perfsim: pipeline handoff %d->%d: %w", c, c+1, err)
 			}
-			s.pipeClasses[c] = cls
+			s.pipeIDs[c] = int32(s.classIndex(cls))
 		}
 	}
+
+	// The class axis is final; carve the per-chip and per-class
+	// counters full-width from the arena's backing arrays.
+	nc := len(s.classes)
+	s.chipClassCycles = growFloats(s.chipClassCycles, n*nc)
+	s.chipClassBytes = growInts(s.chipClassBytes, n*nc)
+	if cap(s.stats) < n {
+		s.stats = make([]ChipStats, n)
+	}
+	s.stats = s.stats[:n]
+	for i := 0; i < n; i++ {
+		s.stats[i] = ChipStats{
+			C2CCyclesByClass:    carveFloats(s.chipClassCycles, i, nc),
+			C2CSentBytesByClass: carveInts(s.chipClassBytes, i, nc),
+		}
+	}
+	s.accByLink = growInts(s.accByLink, int(collective.NumSyncClasses)*nc)
+	for c := range s.classAcc {
+		s.classAcc[c] = classAccum{byLink: carveInts(s.accByLink, c, nc)}
+	}
+
+	// Reusable resources: the chips' exclusive devices and one
+	// full-duplex link per directed pair, re-initialized in place.
+	s.chipRes = growResources(s.chipRes, 3*n)
+	for i := range s.chipRes {
+		s.chipRes[i].Init(&s.eng, "")
+	}
+	s.cluster = s.chipRes[:n]
+	s.dma = s.chipRes[n : 2*n]
+	s.io = s.chipRes[2*n : 3*n]
+	// Link resources initialize lazily on first touch (see link): bump
+	// the generation instead of sweeping the dense n*n slot matrix.
+	s.gen++
+	if s.gen == 0 {
+		// Generation counter wrapped: restart the generation space so
+		// a stale slot can never alias the live generation.
+		s.gen = 1
+		clear(s.linkGen)
+	}
+	s.linkRes = growResources(s.linkRes, n*n)
+	s.linkGen = growGens(s.linkGen, n*n)
+
+	// Synchronization scratch: readiness matrices sized for the widest
+	// schedule, ping-pong arrival buffers, phase timelines.
+	maxChunks := 0
+	for i := range s.lows {
+		if c := s.lows[i].sc.Chunks; c > maxChunks {
+			maxChunks = c
+		}
+	}
+	s.partial = growFloats(s.partial, n*maxChunks)
+	s.has = growFloats(s.has, n*maxChunks)
+	s.syncA = growFloats(s.syncA, n)
+	s.syncB = growFloats(s.syncB, n)
+	s.phaseBuf = growFloats(s.phaseBuf, 3*n)
 
 	var end float64
 	switch d.Plan.Strategy {
@@ -323,53 +521,68 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 		return nil, fmt.Errorf("perfsim: unknown strategy %v", d.Plan.Strategy)
 	}
 
+	// Results escape into caches shared between callers (evalpool
+	// memoizes them as immutable), so every accumulator is copied out
+	// of the arena into exact-size fresh slices: the per-chip class
+	// counters carve two backing arrays, one allocation each.
 	res := &Result{
 		TotalCycles: end,
-		PerChip:     s.stats,
 		Syncs:       s.syncs,
 		TreeDepth:   sched.Depth,
 		Topology:    sched.Topology,
-		LinkClasses: s.classes,
+		LinkClasses: append([]hw.LinkClass(nil), s.classes...),
+		PerChip:     make([]ChipStats, n),
 	}
+	cyc := make([]float64, n*nc)
+	byt := make([]int64, n*nc)
+	copy(cyc, s.chipClassCycles)
+	copy(byt, s.chipClassBytes)
 	for i := range s.stats {
+		res.PerChip[i] = s.stats[i]
+		res.PerChip[i].C2CCyclesByClass = carveFloats(cyc, i, nc)
+		res.PerChip[i].C2CSentBytesByClass = carveInts(byt, i, nc)
 		res.TotalC2CBytes += s.stats[i].C2CSentBytes
-		// Pad the per-class counters to the full class axis: a chip
-		// that never crossed a late-interned class still reports a
-		// zero for it.
-		for len(s.stats[i].C2CCyclesByClass) < len(s.classes) {
-			s.stats[i].C2CCyclesByClass = append(s.stats[i].C2CCyclesByClass, 0)
-			s.stats[i].C2CSentBytesByClass = append(s.stats[i].C2CSentBytesByClass, 0)
+	}
+	nActive := 0
+	for c := range s.classAcc {
+		if s.classAcc[c].syncs > 0 {
+			nActive++
 		}
 	}
-	for c := collective.SyncClass(0); c < collective.NumSyncClasses; c++ {
-		acc := s.classAcc[c]
-		if acc.syncs == 0 {
-			continue
+	if nActive > 0 {
+		res.ByClass = make([]ClassStats, 0, nActive)
+		links := make([]int64, nActive*nc)
+		li := 0
+		for c := collective.SyncClass(0); c < collective.NumSyncClasses; c++ {
+			acc := &s.classAcc[c]
+			if acc.syncs == 0 {
+				continue
+			}
+			bl := carveInts(links, li, nc)
+			copy(bl, acc.byLink)
+			li++
+			res.ByClass = append(res.ByClass, ClassStats{
+				Class:              c,
+				Topology:           acc.topology,
+				Syncs:              acc.syncs,
+				C2CCycles:          acc.cycles,
+				C2CSentBytes:       acc.bytes,
+				C2CSentBytesByLink: bl,
+			})
 		}
-		for len(acc.byLink) < len(s.classes) {
-			acc.byLink = append(acc.byLink, 0)
-		}
-		res.ByClass = append(res.ByClass, ClassStats{
-			Class:              c,
-			Topology:           acc.topology,
-			Syncs:              acc.syncs,
-			C2CCycles:          acc.cycles,
-			C2CSentBytes:       acc.bytes,
-			C2CSentBytesByLink: acc.byLink,
-		})
 	}
 	if d.Plan.Strategy == partition.Pipeline {
 		// Stages run serially: the whole-system breakdown is the sum
 		// of per-stage activity plus the link handoffs.
-		for _, st := range s.stats {
-			res.Breakdown.Compute += st.ComputeCycles
-			res.Breakdown.L2L1 += st.L2L1Cycles
-			res.Breakdown.L3 += st.L3Cycles
+		for i := range s.stats {
+			res.Breakdown.Compute += s.stats[i].ComputeCycles
+			res.Breakdown.L2L1 += s.stats[i].L2L1Cycles
+			res.Breakdown.L3 += s.stats[i].L3Cycles
 		}
 	} else {
 		// The root participates in every phase and sync; gaps in its
 		// timeline are waits on remote partials (chip-to-chip time).
-		rb := s.stats[sched.Root]
+		rb := &s.stats[sched.Root]
 		res.Breakdown = Breakdown{
 			Compute: rb.ComputeCycles,
 			L2L1:    rb.L2L1Cycles,
@@ -385,18 +598,71 @@ func RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, error) {
 	return res, nil
 }
 
-// l1TileBytes is the DMA tiling granularity into L1.
-func (s *sim) l1TileBytes() int64 {
-	return int64(s.d.HW.Chip.L1Bytes / 2)
+// growFloats returns a zeroed length-n slice, reusing buf's backing
+// array when it is large enough.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// growInts is growFloats for int64 scratch.
+func growInts(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// growResources resizes a resource arena without zeroing (each
+// element is re-initialized in place).
+func growResources(buf []eventsim.Resource, n int) []eventsim.Resource {
+	if cap(buf) < n {
+		return make([]eventsim.Resource, n)
+	}
+	return buf[:n]
+}
+
+// growGens resizes the link-generation array without zeroing: fresh
+// backing is zero (never the live generation, which starts at 1) and
+// reused slots hold generations from earlier runs, which are always
+// older than the current one.
+func growGens(buf []uint32, n int) []uint32 {
+	if cap(buf) < n {
+		return make([]uint32, n)
+	}
+	return buf[:n]
+}
+
+// carveFloats cuts row i of width nc out of a flat backing array,
+// capacity-clamped. A zero-width axis yields nil, matching the slices
+// a run with no link classes historically reported.
+func carveFloats(backing []float64, i, nc int) []float64 {
+	if nc == 0 {
+		return nil
+	}
+	return backing[i*nc : (i+1)*nc : (i+1)*nc]
+}
+
+// carveInts is carveFloats for int64 rows.
+func carveInts(backing []int64, i, nc int) []int64 {
+	if nc == 0 {
+		return nil
+	}
+	return backing[i*nc : (i+1)*nc : (i+1)*nc]
 }
 
 // execCost runs one kernel on a chip starting no earlier than t: tile
 // DMA and compute serialize, matching the stacked accounting.
-func (s *sim) execCost(chip int, t float64, cost kernels.Cost) float64 {
-	hwp := s.d.HW
+func (s *Sim) execCost(chip int, t float64, cost *kernels.Cost) float64 {
 	bytes := cost.TotalL2L1Bytes()
 	if bytes > 0 {
-		dmaT := kernels.DMATime(bytes, hwp.Chip.DMAL2L1BytesPerCycle, hwp.Chip.DMAL2L1SetupCycles, s.l1TileBytes())
+		dmaT := kernels.DMATime(bytes, s.dmaL2BPC, s.dmaL2Setup, s.l1Tile)
 		t = s.dma[chip].UseAfter(t, dmaT, nil)
 		s.span(chip, "dma-l2l1", cost.Name, t-dmaT, t)
 		s.stats[chip].L2L1Cycles += dmaT
@@ -404,7 +670,7 @@ func (s *sim) execCost(chip int, t float64, cost kernels.Cost) float64 {
 	}
 	if cost.Cycles > 0 {
 		cycles := cost.Cycles
-		if f := s.d.Options.StragglerFactor; f > 0 && chip == s.d.Options.StragglerChip {
+		if f := s.strFactor; f > 0 && chip == s.strChip {
 			cycles /= f
 		}
 		t = s.cluster[chip].UseAfter(t, cycles, nil)
@@ -419,30 +685,31 @@ func (s *sim) execCost(chip int, t float64, cost kernels.Cost) float64 {
 
 // execScaled runs a fraction of a kernel's cost (tile-level collective
 // work).
-func (s *sim) execScaled(chip int, t float64, cost kernels.Cost, frac float64) float64 {
+func (s *Sim) execScaled(chip int, t float64, cost *kernels.Cost, frac float64) float64 {
 	scaled := kernels.Cost{
 		Name:        cost.Name,
 		Cycles:      cost.Cycles * frac,
 		ActInBytes:  int64(float64(cost.ActInBytes) * frac),
 		ActOutBytes: int64(float64(cost.ActOutBytes) * frac),
 	}
-	return s.execCost(chip, t, scaled)
+	return s.execCost(chip, t, &scaled)
 }
 
 // l3Load streams bytes from L3 into L2 starting no earlier than t and
 // returns the completion time. spill marks activation-spill traffic.
-func (s *sim) l3Load(chip int, t float64, bytes int64, spill bool) float64 {
+func (s *Sim) l3Load(chip int, t float64, bytes int64, spill bool) float64 {
 	if bytes <= 0 {
 		return t
 	}
-	hwp := s.d.HW
-	dur := kernels.DMATime(bytes, hwp.Chip.DMAL3L2BytesPerCycle, hwp.Chip.DMAL3L2SetupCycles, s.l1TileBytes())
+	dur := kernels.DMATime(bytes, s.dmaL3BPC, s.dmaL3Setup, s.l1Tile)
 	end := s.io[chip].UseAfter(t, dur, nil)
-	label := "weights"
-	if spill {
-		label = "act-spill"
+	if s.tl != nil {
+		label := "weights"
+		if spill {
+			label = "act-spill"
+		}
+		s.span(chip, "dma-l3", label, end-dur, end)
 	}
-	s.span(chip, "dma-l3", label, end-dur, end)
 	s.stats[chip].L3Cycles += dur
 	s.stats[chip].L3Bytes += bytes
 	if spill {
@@ -457,12 +724,11 @@ func (s *sim) l3Load(chip int, t float64, bytes int64, spill bool) float64 {
 // l3Background charges prefetch traffic that is off the critical path:
 // bytes and engine occupancy, no dependency for the caller. Returns
 // the transfer duration.
-func (s *sim) l3Background(chip int, t float64, bytes int64) float64 {
+func (s *Sim) l3Background(chip int, t float64, bytes int64) float64 {
 	if bytes <= 0 {
 		return 0
 	}
-	hwp := s.d.HW
-	dur := kernels.DMATime(bytes, hwp.Chip.DMAL3L2BytesPerCycle, hwp.Chip.DMAL3L2SetupCycles, s.l1TileBytes())
+	dur := kernels.DMATime(bytes, s.dmaL3BPC, s.dmaL3Setup, s.l1Tile)
 	end := s.io[chip].UseAfter(t, dur, nil)
 	s.span(chip, "dma-l3", "prefetch", end-dur, end)
 	s.stats[chip].L3Bytes += bytes
@@ -472,7 +738,7 @@ func (s *sim) l3Background(chip int, t float64, bytes int64) float64 {
 // phase executes a kernel list with optional synchronous L3 traffic
 // (TierStreamed weights + activation spill), serialized before the
 // compute as on a capacity-starved chip.
-func (s *sim) phase(chip int, t float64, ops []kernels.Cost, exposedL3 int64, spillShare int64) float64 {
+func (s *Sim) phase(chip int, t float64, ops []kernels.Cost, exposedL3 int64, spillShare int64) float64 {
 	if exposedL3 > 0 {
 		weightPart := exposedL3 - spillShare
 		if weightPart > 0 {
@@ -482,43 +748,40 @@ func (s *sim) phase(chip int, t float64, ops []kernels.Cost, exposedL3 int64, sp
 			t = s.l3Load(chip, t, spillShare, true)
 		}
 	}
-	for _, op := range ops {
-		t = s.execCost(chip, t, op)
+	for i := range ops {
+		t = s.execCost(chip, t, &ops[i])
 	}
 	return t
 }
 
 // hopOn moves payload across one directed link resource of the given
-// link class — each edge transfers at its own class's rate and setup
-// cost, which is what lets one schedule mix fast local links with a
-// slow backhaul. Links touching a degraded chip (failure injection)
-// transfer at the configured fraction of nominal bandwidth.
-func (s *sim) hopOn(link *eventsim.Resource, from, to int, ready float64, payload int64, class hw.LinkClass) float64 {
-	dur := class.TransferCycles(s.d.HW.Chip.FreqHz, payload)
-	if f := s.d.Options.DegradedLinkFactor; f > 0 && (from == s.d.Options.DegradedLinkChip || to == s.d.Options.DegradedLinkChip) {
+// interned link class — each edge transfers at its own class's rate
+// and setup cost, which is what lets one schedule mix fast local
+// links with a slow backhaul. Links touching a degraded chip (failure
+// injection) transfer at the configured fraction of nominal
+// bandwidth.
+func (s *Sim) hopOn(link *eventsim.Resource, from, to int, ready float64, payload int64, id int32) float64 {
+	dur := s.classes[id].TransferCycles(s.freqHz, payload)
+	if f := s.degFactor; f > 0 && (from == s.degChip || to == s.degChip) {
 		dur /= f
 	}
 	end := link.UseAfter(ready, dur, nil)
-	// Each tree edge is its own full-duplex PHY: trace it as its own
-	// exclusive resource.
-	s.span(from, link.Name(), fmt.Sprintf("%d->%d", from, to), end-dur, end)
-	id := s.classIndex(class)
+	if s.tl != nil {
+		// Each tree edge is its own full-duplex PHY: trace it as its
+		// own exclusive resource. The labels are formatted only on the
+		// traced (cold) path — they were the hot path's single biggest
+		// allocation source.
+		s.span(from, fmt.Sprintf("link%d-%d", from, to), fmt.Sprintf("%d->%d", from, to), end-dur, end)
+	}
 	st := &s.stats[from]
 	st.C2CCycles += dur
 	st.C2CSentBytes += payload
-	for len(st.C2CCyclesByClass) <= id {
-		st.C2CCyclesByClass = append(st.C2CCyclesByClass, 0)
-		st.C2CSentBytesByClass = append(st.C2CSentBytesByClass, 0)
-	}
 	st.C2CCyclesByClass[id] += dur
 	st.C2CSentBytesByClass[id] += payload
 	if s.curClass != classNone {
 		acc := &s.classAcc[s.curClass]
 		acc.cycles += dur
 		acc.bytes += payload
-		for len(acc.byLink) <= id {
-			acc.byLink = append(acc.byLink, 0)
-		}
 		acc.byLink[id] += payload
 	}
 	if end > st.End {
@@ -530,31 +793,32 @@ func (s *sim) hopOn(link *eventsim.Resource, from, to int, ready float64, payloa
 	return end
 }
 
-// splitTiles cuts a payload into tiles of at most commTile bytes.
-func (s *sim) splitTiles(payload int64) []int64 {
+// appendTiles cuts a payload into tiles of at most commTile bytes,
+// appending into the caller's scratch buffer.
+func appendTiles(buf []int64, payload, commTile int64) []int64 {
 	if payload <= 0 {
-		return []int64{0}
+		return append(buf, 0)
 	}
-	var tiles []int64
 	for payload > 0 {
 		t := payload
-		if t > s.commTile {
-			t = s.commTile
+		if t > commTile {
+			t = commTile
 		}
-		tiles = append(tiles, t)
+		buf = append(buf, t)
 		payload -= t
 	}
-	return tiles
+	return buf
 }
 
 // schedFor resolves the schedule a synchronization class executes:
-// the collective plan's binding, or the run topology's schedule. Every
-// schedule a plan can select was lowered up front in RunTraced.
-func (s *sim) schedFor(class collective.SyncClass) *interconnect.Schedule {
+// the collective plan's binding, or the run topology's schedule (lows
+// index 0). Every schedule a plan can select was lowered up front in
+// RunTraced.
+func (s *Sim) schedFor(class collective.SyncClass) *loweredSched {
 	if topo, ok := s.d.Options.SyncPlan.Explicit(class); ok {
-		return s.scheds[topo]
+		return &s.lows[s.scheds[topo]]
 	}
-	return s.sched
+	return &s.lows[0]
 }
 
 // sync performs one collective synchronization — reduce + root work +
@@ -565,25 +829,31 @@ func (s *sim) schedFor(class collective.SyncClass) *interconnect.Schedule {
 // schedule's finalizing chips between a tile's reduction and its
 // broadcast.
 //
-// Readiness is tracked per (chip, chunk): partial[c][q] is when chip
-// c's accumulator for chunk q last settled, has[c][q] when chip c
-// received the finalized chunk q. Whole-payload topologies use a
-// single chunk, reducing to the original tree recursion; the ring's
+// Readiness is tracked per (chip, chunk): partial[c*chunks+q] is when
+// chip c's accumulator for chunk q last settled, has[c*chunks+q] when
+// chip c received the finalized chunk q. Whole-payload topologies use
+// a single chunk, reducing to the original tree recursion; the ring's
 // 2(N-1)-step chunk rotation needs the extra axis so a chip's send of
 // one chunk never waits on its concurrent receive of another.
-func (s *sim) sync(class collective.SyncClass, ready []float64, reducePayload, bcastPayload int64, rootWork []kernels.Cost) []float64 {
+//
+// The returned arrival slice is arena scratch: syncs alternate between
+// two buffers, so it stays valid across exactly one subsequent sync —
+// the only lifetime the phase loops need.
+func (s *Sim) sync(class collective.SyncClass, ready []float64, reducePayload, bcastPayload int64, rootWork []kernels.Cost) []float64 {
 	s.syncs++
 	n := s.d.Plan.Chips
-	sc := s.schedFor(class)
+	lo := s.schedFor(class)
+	sc := lo.sc
 	acc := &s.classAcc[class]
 	acc.topology = sc.Topology
 	acc.syncs++
 	s.curClass = class
 	defer func() { s.curClass = classNone }()
 
-	tiles := s.splitTiles(reducePayload)
+	s.tiles = appendTiles(s.tiles[:0], reducePayload, s.commTile)
+	tiles := s.tiles
 	nt := len(tiles)
-	bcastTiles := s.splitTiles(bcastPayload)
+	bcastTiles := appendTiles(s.bcast[:0], bcastPayload, s.commTile)
 	// Align tile counts (reduce fraction governs; broadcast payload
 	// is split proportionally).
 	for len(bcastTiles) < nt {
@@ -596,53 +866,57 @@ func (s *sim) sync(class collective.SyncClass, ready []float64, reducePayload, b
 		}
 		bcastTiles = append(bcastTiles[:nt-1], merged)
 	}
+	s.bcast = bcastTiles
 
 	// arrive[c] tracks when chip c holds all broadcast tiles (its
-	// start time for the next phase).
-	arrive := make([]float64, n)
+	// start time for the next phase) — the ping-pong half the previous
+	// sync did not return.
+	arrive := s.syncB
+	if s.flip = !s.flip; s.flip {
+		arrive = s.syncA
+	}
 	copy(arrive, ready)
 
-	partial := make([][]float64, n)
-	has := make([][]float64, n)
-	for c := 0; c < n; c++ {
-		partial[c] = make([]float64, sc.Chunks)
-		has[c] = make([]float64, sc.Chunks)
-	}
+	chunks := sc.Chunks
+	partial := s.partial
+	has := s.has
 	for k := 0; k < nt; k++ {
 		frac := 1.0 / float64(nt)
 		for c := 0; c < n; c++ {
-			for q := 0; q < sc.Chunks; q++ {
-				partial[c][q] = ready[c]
-				has[c][q] = 0
+			for q := 0; q < chunks; q++ {
+				partial[c*chunks+q] = ready[c]
+				has[c*chunks+q] = 0
 			}
 		}
-		for _, h := range sc.Reduce {
-			start := partial[h.From][h.Chunk]
+		for i := range sc.Reduce {
+			h := &sc.Reduce[i]
+			start := partial[h.From*chunks+h.Chunk]
 			if !h.FromAccumulated {
 				// All-to-all sends the original partial; only the
 				// receiver accumulates.
 				start = ready[h.From]
 			}
 			end := s.hopOn(s.link(h.From, h.To), h.From, h.To, start,
-				interconnect.ScalePayload(tiles[k], h.Frac), h.Class)
-			addEnd := s.execScaled(h.To, maxF(end, partial[h.To][h.Chunk]), s.d.ReduceAdd, frac*h.Frac)
-			partial[h.To][h.Chunk] = addEnd
+				interconnect.ScalePayload(tiles[k], h.Frac), lo.reduce[i])
+			addEnd := s.execScaled(h.To, maxF(end, partial[h.To*chunks+h.Chunk]), &s.d.ReduceAdd, frac*h.Frac)
+			partial[h.To*chunks+h.Chunk] = addEnd
 		}
 		for _, f := range sc.Final {
-			t := partial[f.Chip][f.Chunk]
-			for _, op := range rootWork {
-				t = s.execScaled(f.Chip, t, op, frac*f.Frac)
+			t := partial[f.Chip*chunks+f.Chunk]
+			for i := range rootWork {
+				t = s.execScaled(f.Chip, t, &rootWork[i], frac*f.Frac)
 			}
 			if t > arrive[f.Chip] {
 				arrive[f.Chip] = t
 			}
-			has[f.Chip][f.Chunk] = t
+			has[f.Chip*chunks+f.Chunk] = t
 		}
-		for _, h := range sc.Broadcast {
-			end := s.hopOn(s.link(h.From, h.To), h.From, h.To, has[h.From][h.Chunk],
-				interconnect.ScalePayload(bcastTiles[k], h.Frac), h.Class)
-			if end > has[h.To][h.Chunk] {
-				has[h.To][h.Chunk] = end
+		for i := range sc.Broadcast {
+			h := &sc.Broadcast[i]
+			end := s.hopOn(s.link(h.From, h.To), h.From, h.To, has[h.From*chunks+h.Chunk],
+				interconnect.ScalePayload(bcastTiles[k], h.Frac), lo.bcast[i])
+			if end > has[h.To*chunks+h.Chunk] {
+				has[h.To*chunks+h.Chunk] = end
 			}
 			if end > arrive[h.To] {
 				arrive[h.To] = end
@@ -652,20 +926,20 @@ func (s *sim) sync(class collective.SyncClass, ready []float64, reducePayload, b
 	return arrive
 }
 
-func (s *sim) runTensorParallel() float64 {
+func (s *Sim) runTensorParallel() float64 {
 	n := s.d.Plan.Chips
 	blocks := s.d.Chips[0].Blocks
-	ready := make([]float64, n)
+	ready := s.phaseBuf[0:n]
+	blockStart := s.phaseBuf[n : 2*n]
+	phaseEnd := s.phaseBuf[2*n : 3*n]
 
 	// The block's two synchronizations, classed by mode: [MHSA, FFN]
 	// in prefill or decode flavor.
 	cls := collective.ActiveClasses(partition.TensorParallel, s.d.Mode)
 
 	for b := 0; b < blocks; b++ {
-		blockStart := make([]float64, n)
 		copy(blockStart, ready)
 
-		phaseEnd := make([]float64, n)
 		for c := 0; c < n; c++ {
 			cd := &s.d.Chips[c]
 			t := ready[c]
@@ -730,7 +1004,7 @@ func weightPartOf(cd *deploy.ChipDeploy, mhsa bool) int64 {
 	return cd.StreamBytesPerBlock * fw / total
 }
 
-func (s *sim) runReplicated() float64 {
+func (s *Sim) runReplicated() float64 {
 	n := s.d.Plan.Chips
 	blocks := s.d.Chips[0].Blocks
 	cfg := s.d.Plan.Config
@@ -747,9 +1021,9 @@ func (s *sim) runReplicated() float64 {
 	kvPayload := int64(rows) * int64(2*cfg.P) * int64(cfg.ActBytes)
 	outPayload := int64(rows) * int64(cfg.E) * int64(cfg.ActBytes)
 
-	ready := make([]float64, n)
+	ready := s.phaseBuf[0:n]
+	phaseEnd := s.phaseBuf[n : 2*n]
 	for b := 0; b < blocks; b++ {
-		phaseEnd := make([]float64, n)
 		for c := 0; c < n; c++ {
 			cd := &s.d.Chips[c]
 			t := ready[c]
@@ -771,7 +1045,7 @@ func (s *sim) runReplicated() float64 {
 	return maxAll(ready)
 }
 
-func (s *sim) runPipeline() float64 {
+func (s *Sim) runPipeline() float64 {
 	n := s.d.Plan.Chips
 	cfg := s.d.Plan.Config
 	sq := queryRowsOf(s.d)
@@ -788,7 +1062,7 @@ func (s *sim) runPipeline() float64 {
 			t = s.phase(c, t, cd.MHSA, cd.ExposedMHSABytes, spill)
 		}
 		if c+1 < n {
-			t = s.hopOn(s.link(c, c+1), c, c+1, t, actPayload, s.pipeClasses[c])
+			t = s.hopOn(s.link(c, c+1), c, c+1, t, actPayload, s.pipeIDs[c])
 		}
 	}
 	return t

@@ -1,0 +1,50 @@
+// Package prof wires the standard pprof profile outputs into a CLI:
+// Start begins a CPU profile and returns a stop function that also
+// writes the allocation profile, so one deferred call at the top of
+// main covers both `-cpuprofile` and `-memprofile`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the -cpuprofile / -memprofile flag values
+// (empty = that profile off) and returns the function that finalizes
+// whichever profiles are active. The allocation profile is written at
+// stop time after a final GC, so it reflects the whole run.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile is end-of-run truth
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("alloc profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

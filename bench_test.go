@@ -20,6 +20,7 @@ import (
 	"mcudist/internal/fleet"
 	"mcudist/internal/hw"
 	"mcudist/internal/interconnect"
+	"mcudist/internal/memsim"
 	"mcudist/internal/model"
 	"mcudist/internal/resultstore"
 )
@@ -701,4 +702,75 @@ func BenchmarkFleetServingWarm(b *testing.B) {
 	b.ReportMetric(res.Metrics.TokensPerSecond, "sim_tok_s")
 	b.ReportMetric(res.Metrics.P99LatencySeconds*1e3, "sim_p99_ms")
 	b.ReportMetric(res.Metrics.MeanBatch, "mean_batch")
+}
+
+// BenchmarkMemsimTiledGEMM measures the closed-form tile planner on
+// an EdgeLlama-1B FFN GEMM slice (K=2048, N=704 per chip at 8-way
+// tensor parallelism): enumerating every candidate tiling and pricing
+// each plan's double-buffered makespan. This is the inner loop of the
+// zero-probe tiling predictor, so its cost bounds the autotuner's
+// ranking phase. The tiling_range_x metric is the worst/best makespan
+// ratio across candidates — the dynamic range the tiling knob
+// actually controls.
+func BenchmarkMemsimTiledGEMM(b *testing.B) {
+	p := hw.Siracusa()
+	p.Mem = hw.LPDDR5()
+	ch := memsim.ChannelOf(p)
+	g := memsim.GEMM{
+		M: 1, K: 2048, N: 704,
+		WeightElemBytes: 1, ActElemBytes: 1,
+		ComputeCycles: 2048 * 704 / 64,
+	}
+	cands := memsim.CandidateTilings(ch, g)
+	if len(cands) == 0 {
+		b.Fatal("no candidate tilings")
+	}
+	best, worst := 0.0, 0.0
+	for i := 0; i < b.N; i++ {
+		best, worst = 0, 0
+		for _, t := range memsim.CandidateTilings(ch, g) {
+			plan, err := memsim.PlanGEMM(ch, g, t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := plan.Makespan()
+			if best == 0 || m < best {
+				best = m
+			}
+			if m > worst {
+				worst = m
+			}
+		}
+	}
+	b.ReportMetric(float64(len(cands)), "candidates")
+	b.ReportMetric(worst/best, "tiling_range_x")
+}
+
+// BenchmarkAutotuneTiling measures the per-family tiling autotuner on
+// the bigger-than-SRAM operating point — EdgeLlama-1B paged from
+// LPDDR5 across 8 chips, decoding — with a cold report cache each
+// iteration. The ranking phase needs zero probe simulations (the
+// closed-form makespans are exact, pinned by
+// TestExecTiledMatchesPlanMakespan), so exact_sims counts only the
+// verified top-K pairs plus the two best uniform tilings; sims_saved_x
+// is the full pair grid over that bill (>= 5x is pinned by
+// TestMemTilingAutotune).
+func BenchmarkAutotuneTiling(b *testing.B) {
+	sys := core.DefaultSystem(8)
+	sys.HW.Mem = hw.LPDDR5()
+	wl := core.Workload{Model: model.EdgeLlama1B(), Mode: model.Autoregressive}
+	var res *explore.TilingResult
+	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
+		r, err := explore.AutotuneTiling(sys, wl, explore.TilingOptions{Candidates: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Margin, "tiling_margin")
+	b.ReportMetric(res.RankAccuracy, "rank_accuracy")
+	b.ReportMetric(float64(res.ExactSims), "exact_sims")
+	b.ReportMetric(float64(res.GridSims), "grid_sims")
+	b.ReportMetric(float64(res.GridSims)/float64(res.ExactSims), "sims_saved_x")
 }

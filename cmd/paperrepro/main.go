@@ -35,7 +35,7 @@ type step struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations topology network syncplan session extensions fleet")
+	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations topology network syncplan session extensions fleet memtier")
 	workers := flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 	cluster := flag.Int("cluster", 4, "network ablation: chips per fast local cluster")
 	backhaul := flag.Float64("backhaul", 10, "network ablation: inter-cluster bandwidth slowdown vs MIPI")
@@ -80,6 +80,7 @@ func main() {
 		{"session", session},
 		{"extensions", extensions},
 		{"fleet", fleetStudy},
+		{"memtier", memtier},
 	}
 	ran := 0
 	for _, s := range all {
@@ -402,6 +403,41 @@ func fleetStudy() error {
 	for _, r := range rows {
 		t.AddRow(r.MaxBatch, r.TokensPerSecond, r.P99LatencySeconds*1e3,
 			r.EnergyPerRequestJoules, r.MeanBatch, r.Margin)
+	}
+	return t.Render(os.Stdout)
+}
+
+// memtier renders the DRAM-backed memory-hierarchy studies: the
+// streamed-tier cost comparison (flat exposed-bytes model vs the
+// tiled DRAM channel, with prefetch-depth / bank-count / bandwidth
+// knobs swept) and the per-family tiling autotuner, including the
+// bigger-than-SRAM EdgeLlama point where the attention and FFN layer
+// families prefer different tile shapes.
+func memtier() error {
+	rows, err := experiments.MemTierStudy()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Memory-hierarchy cost tier, streamed TinyLlama on 2 chips",
+		"config", "mode", "cycles", "l3_cycles", "l3_bytes", "energy_mJ", "tier")
+	for _, r := range rows {
+		t.AddRow(r.Label, r.Mode, r.Cycles, r.L3Cycles, r.L3Bytes, r.EnergyMJ, r.Tier.String())
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	tiles, err := experiments.MemTilingAutotune()
+	if err != nil {
+		return err
+	}
+	t = report.NewTable("Per-family tiling autotune (zero-probe predict-then-verify over the pair grid)",
+		"model", "chips", "attn", "ffn", "cycles", "best_uniform", "margin", "energy_margin",
+		"rank_acc", "exact_sims", "grid_sims")
+	for _, r := range tiles {
+		t.AddRow(r.Model, r.Chips, r.Attn, r.FFN, r.Cycles, r.BestUniform, r.Margin,
+			r.EnergyMargin, r.RankAccuracy, r.ExactSims, r.GridSims)
 	}
 	return t.Render(os.Stdout)
 }

@@ -17,6 +17,10 @@
 //	sweep -model scaled -chips 1,2,4,8 -cache-dir ~/.cache/mcudist -cache-stats
 //	                        # second run answers from the persistent
 //	                        # result store: exact_sims=0
+//	sweep -model tinyllama -chips 2 -mem dram
+//	sweep -model edgellama -chips 8 -mem dram -mem-banks 16 -tile 32x256
+//	sweep -model edgellama -chips 8 -mem dram -tile 32x352 -ffn-tile 32x512
+//	sweep -model edgellama -chips 8 -mem dram -autotune-tiling
 //	sweep -fleet -model scaled -chips 64 -groups 2 -rates 50,100,200,400
 //	sweep -fleet -chips 8 -max-batch 4 -requests 5000 -fleet-autotune
 package main
@@ -34,6 +38,7 @@ import (
 	"mcudist/internal/explore"
 	"mcudist/internal/fleet"
 	"mcudist/internal/hw"
+	"mcudist/internal/memsim"
 	"mcudist/internal/model"
 	"mcudist/internal/prof"
 	"mcudist/internal/report"
@@ -42,7 +47,7 @@ import (
 
 func main() {
 	var (
-		modelName  = flag.String("model", "tinyllama", "model: tinyllama | scaled | mobilebert")
+		modelName  = flag.String("model", "tinyllama", "model: tinyllama | scaled | mobilebert | edgellama")
 		modeName   = flag.String("mode", "autoregressive", "mode: autoregressive | prompt")
 		chipsList  = flag.String("chips", "1,2,4,8", "comma-separated chip counts")
 		seqLen     = flag.Int("seqlen", 0, "sequence length (0 = paper default)")
@@ -62,6 +67,16 @@ func main() {
 		maxBatch   = flag.Int("max-batch", 0, "fleet: decode micro-batch cap per group (0 = default 8; 1 = no batching)")
 		fleetTune  = flag.Bool("fleet-autotune", false, "fleet: pick each group's collective plan with the session autotuner")
 		fleetSlow  = flag.Bool("fleet-serial", false, "fleet: disable the parallel shape pre-pricing pass and price every step lazily inside the serial event loop (the reference path; output is byte-identical either way)")
+		memName    = flag.String("mem", "flat", "off-chip memory model: flat (legacy byte count) | dram (LPDDR5-backed tiled hierarchy)")
+		memDepth   = flag.Int("mem-depth", 0, "dram: prefetch depth, weight tiles fetched ahead of compute (0 = preset)")
+		memBanks   = flag.Int("mem-banks", 0, "dram: interleaved SRAM banks between prefetch and compute (0 = preset)")
+		memBPC     = flag.Float64("mem-bpc", 0, "dram: channel payload bandwidth, bytes per cluster cycle (0 = preset)")
+		memBurst   = flag.Int("mem-burst", 0, "dram: burst granule in bytes (0 = preset)")
+		memSetup   = flag.Int("mem-burst-setup", -1, "dram: per-burst setup cycles (-1 = preset)")
+		memPJ      = flag.Float64("mem-pj", 0, "dram: transfer energy in pJ per byte (0 = preset)")
+		tileSpec   = flag.String("tile", "", "dram: weight-tile shape KxN for streamed GEMMs, e.g. 32x256 (empty = auto: largest tile fitting one stream-buffer slot)")
+		ffnTile    = flag.String("ffn-tile", "", "dram: tile-shape override for the FFN layer family (empty = inherit -tile)")
+		tiling     = flag.Bool("autotune-tiling", false, "dram: autotune per-family tile shapes at each chip count (predict-then-verify over the attention x FFN tiling grid) and report them against the best uniform tiling")
 		workers    = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", "", "persistent result store directory: configurations simulated once are reloaded on every later run (default off; falls back to $MCUDIST_CACHE)")
 		cacheStats = flag.Bool("cache-stats", false, "print memory-hit / disk-hit / exact-simulation counts and store size to stderr after the sweep")
@@ -103,6 +118,21 @@ func main() {
 	if *session && (*autotune || !plan.IsZero()) {
 		fatal(fmt.Errorf("choose -autotune-session or -plan/-autotune, not both"))
 	}
+	mem, err := buildMem(*memName, *memDepth, *memBanks, *memBPC, *memBurst, *memSetup, *memPJ, *tileSpec, *ffnTile)
+	if err != nil {
+		fatal(err)
+	}
+	if *tiling {
+		if !mem.Enabled() {
+			fatal(fmt.Errorf("-autotune-tiling needs the hierarchical memory model (-mem dram)"))
+		}
+		if *tileSpec != "" || *ffnTile != "" {
+			fatal(fmt.Errorf("choose -autotune-tiling or explicit -tile/-ffn-tile, not both"))
+		}
+		if *autotune || *session || !plan.IsZero() {
+			fatal(fmt.Errorf("choose -autotune-tiling or -plan/-autotune/-autotune-session, not both"))
+		}
+	}
 
 	var cfg model.Config
 	switch strings.ToLower(*modelName) {
@@ -112,6 +142,8 @@ func main() {
 		cfg = model.TinyLlamaScaled64()
 	case "mobilebert":
 		cfg = model.MobileBERT512()
+	case "edgellama":
+		cfg = model.EdgeLlama1B()
 	default:
 		fatal(fmt.Errorf("unknown model %q", *modelName))
 	}
@@ -133,21 +165,26 @@ func main() {
 		if len(chips) != 1 {
 			fatal(fmt.Errorf("-fleet takes a single -chips value (group width), got %v", chips))
 		}
-		fleetSweep(cfg, chips[0], *rates, *requests, *seed, *groups, *maxBatch, *fleetTune, *fleetSlow)
+		fleetSweep(cfg, chips[0], mem, *rates, *requests, *seed, *groups, *maxBatch, *fleetTune, *fleetSlow)
 		return
 	}
 	wl := core.Workload{Model: cfg, Mode: mode, SeqLen: *seqLen}
 	if *session {
-		sessionSweep(topo, network, cfg, *seqLen, *topK, chips)
+		sessionSweep(topo, network, mem, cfg, *seqLen, *topK, chips)
 		return
 	}
 	if *autotune {
-		autotuneSweep(topo, network, wl, chips)
+		autotuneSweep(topo, network, mem, wl, chips)
+		return
+	}
+	if *tiling {
+		tilingSweep(topo, network, mem, wl, *topK, chips)
 		return
 	}
 	base1 := core.DefaultSystem(1)
 	base1.HW.Topology = topo
 	base1.HW.Network = network
+	base1.HW.Mem = mem
 	base1.Options.SyncPlan = plan
 	reports, err := evalpool.Eval(base1, wl, chips)
 	if err != nil {
@@ -173,13 +210,14 @@ func main() {
 // joins assignments with "+" (the flag syntax's commas would split
 // the CSV cell); ParsePlan accepts both separators, so the cell
 // pastes straight back into -plan.
-func autotuneSweep(topo hw.Topology, network hw.Network, wl core.Workload, chips []int) {
+func autotuneSweep(topo hw.Topology, network hw.Network, mem hw.MemHierarchy, wl core.Workload, chips []int) {
 	t := report.NewTable("", "chips", "plan", "cycles", "ms",
 		"best_uniform", "uniform_cycles", "margin")
 	for _, n := range chips {
 		sys := core.DefaultSystem(n)
 		sys.HW.Topology = topo
 		sys.HW.Network = network
+		sys.HW.Mem = mem
 		res, err := explore.AutotunePlan(sys, wl)
 		if err != nil {
 			fatal(fmt.Errorf("%d chips: %w", n, err))
@@ -198,13 +236,14 @@ func autotuneSweep(topo hw.Topology, network hw.Network, wl core.Workload, chips
 // uniform session it beats, and the predict-then-verify search's
 // exact-simulation bill against the naive joint grid. The plan column
 // uses the "+"-joined spelling and pastes straight back into -plan.
-func sessionSweep(topo hw.Topology, network hw.Network, cfg model.Config, seqLen, topK int, chips []int) {
+func sessionSweep(topo hw.Topology, network hw.Network, mem hw.MemHierarchy, cfg model.Config, seqLen, topK int, chips []int) {
 	t := report.NewTable("", "chips", "plan", "cycles", "predicted_cycles",
 		"best_uniform", "uniform_cycles", "margin", "rank_acc", "exact_sims", "grid_sims")
 	for _, n := range chips {
 		sys := core.DefaultSystem(n)
 		sys.HW.Topology = topo
 		sys.HW.Network = network
+		sys.HW.Mem = mem
 		res, err := explore.AutotuneSession(sys, cfg, explore.SessionOptions{TopK: topK, PromptSeqLen: seqLen})
 		if err != nil {
 			fatal(fmt.Errorf("%d chips: %w", n, err))
@@ -219,11 +258,37 @@ func sessionSweep(topo hw.Topology, network hw.Network, cfg model.Config, seqLen
 	}
 }
 
+// tilingSweep emits one CSV row per chip count: the autotuned
+// per-family weight-tile shapes under the DRAM hierarchy against the
+// best uniform tiling. The attn/ffn cells use the KxN spelling and
+// paste straight back into -tile / -ffn-tile.
+func tilingSweep(topo hw.Topology, network hw.Network, mem hw.MemHierarchy, wl core.Workload, topK int, chips []int) {
+	t := report.NewTable("", "chips", "attn_tile", "ffn_tile", "cycles", "ms",
+		"best_uniform", "uniform_cycles", "margin", "rank_acc", "exact_sims", "grid_sims")
+	for _, n := range chips {
+		sys := core.DefaultSystem(n)
+		sys.HW.Topology = topo
+		sys.HW.Network = network
+		sys.HW.Mem = mem
+		res, err := explore.AutotuneTiling(sys, wl, explore.TilingOptions{TopK: topK})
+		if err != nil {
+			fatal(fmt.Errorf("%d chips: %w", n, err))
+		}
+		t.AddRow(n, res.Attn.String(), res.FFN.String(),
+			res.Cycles, res.Report.Seconds*1e3,
+			res.BestUniform.String(), res.UniformCycles, res.Margin,
+			res.RankAccuracy, res.ExactSims, res.GridSims)
+	}
+	if err := t.CSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
 // fleetSweep emits one CSV row per offered arrival rate: the serving
 // metrics of a chip-group fleet under a seeded Poisson trace. The plan
 // column uses the "+"-joined spelling (empty when -fleet-autotune is
 // off) and pastes straight back into -plan.
-func fleetSweep(cfg model.Config, chipsPerGroup int, rateList string, requests int, seed uint64, groups, maxBatch int, autotune, serial bool) {
+func fleetSweep(cfg model.Config, chipsPerGroup int, mem hw.MemHierarchy, rateList string, requests int, seed uint64, groups, maxBatch int, autotune, serial bool) {
 	var rates []float64
 	for _, part := range strings.Split(rateList, ",") {
 		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
@@ -238,12 +303,14 @@ func fleetSweep(cfg model.Config, chipsPerGroup int, rateList string, requests i
 	t := report.NewTable("", "offered_req_s", "achieved_req_s", "p50_s", "p99_s",
 		"p50_ttft_s", "tok_s", "J_per_req", "mean_queue", "max_queue",
 		"mean_batch", "util", "plan")
+	sys := core.DefaultSystem(chipsPerGroup)
+	sys.HW.Mem = mem
 	for _, rate := range rates {
 		res, err := fleet.Run(fleet.Options{
 			Trace: fleet.PoissonTrace(fleet.TraceOptions{
 				Requests: requests, RatePerSecond: rate, Seed: seed,
 			}),
-			System:     core.DefaultSystem(chipsPerGroup),
+			System:     sys,
 			Model:      cfg,
 			Groups:     groups,
 			MaxBatch:   maxBatch,
@@ -267,6 +334,57 @@ func fleetSweep(cfg model.Config, chipsPerGroup int, rateList string, requests i
 	if err := t.CSV(os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+// buildMem maps the -mem* / -tile flags to a memory hierarchy. The
+// dram profile starts from the LPDDR5 preset and applies only the
+// knobs the user pinned, so a bare "-mem dram" reproduces the
+// library's hw.LPDDR5() numbers; under the default flat profile every
+// knob must stay at its default (the flat model has none of them).
+func buildMem(name string, depth, banks int, bpc float64, burst, setup int, pj float64, tile, ffnTile string) (hw.MemHierarchy, error) {
+	profile, err := hw.ParseMemProfile(name)
+	if err != nil {
+		return hw.MemHierarchy{}, err
+	}
+	if profile == hw.MemFlat {
+		if depth != 0 || banks != 0 || bpc != 0 || burst != 0 || setup != -1 || pj != 0 || tile != "" || ffnTile != "" {
+			return hw.MemHierarchy{}, fmt.Errorf("the flat memory model has no knobs: drop the -mem-*/-tile flags or select -mem dram")
+		}
+		return hw.MemHierarchy{}, nil
+	}
+	m := hw.LPDDR5()
+	if depth != 0 {
+		m.PrefetchDepth = depth
+	}
+	if banks != 0 {
+		m.SRAMBanks = banks
+	}
+	if bpc != 0 {
+		m.DRAMBytesPerCycle = bpc
+	}
+	if burst != 0 {
+		m.DRAMBurstBytes = burst
+	}
+	if setup != -1 {
+		m.DRAMBurstSetupCycles = setup
+	}
+	if pj != 0 {
+		m.DRAMPJPerByte = pj
+	}
+	ta, err := memsim.ParseTiling(tile)
+	if err != nil {
+		return hw.MemHierarchy{}, err
+	}
+	tf, err := memsim.ParseTiling(ffnTile)
+	if err != nil {
+		return hw.MemHierarchy{}, err
+	}
+	m.TileK, m.TileN = ta.K, ta.N
+	m.FFNTileK, m.FFNTileN = tf.K, tf.N
+	if err := m.Validate(); err != nil {
+		return hw.MemHierarchy{}, err
+	}
+	return m, nil
 }
 
 // buildNetwork maps the -network / -cluster / -backhaul flags to a

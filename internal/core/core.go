@@ -152,6 +152,22 @@ func Run(sys System, wl Workload) (*Report, error) {
 	return rep, nil
 }
 
+// Lower runs just the deployment planner for a (system, workload)
+// pair — no simulation — exposing the per-chip kernel sequences and
+// memory-hierarchy tile plans. The tiling autotuner prices candidate
+// tilings from this lowering's closed-form plan makespans instead of
+// simulating them.
+func Lower(sys System, wl Workload) (*deploy.Deployment, error) {
+	if sys.Chips <= 0 {
+		return nil, fmt.Errorf("core: chip count %d must be positive", sys.Chips)
+	}
+	plan, err := buildPlan(sys, wl.Model)
+	if err != nil {
+		return nil, err
+	}
+	return deploy.NewBatched(plan, sys.HW, wl.Mode, wl.ResolvedSeqLen(), wl.ResolvedBatch(), sys.Options)
+}
+
 func buildPlan(sys System, cfg model.Config) (*partition.Plan, error) {
 	switch sys.Strategy {
 	case partition.TensorParallel:

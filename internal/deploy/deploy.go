@@ -13,6 +13,7 @@ import (
 	"mcudist/internal/hw"
 	"mcudist/internal/kernels"
 	"mcudist/internal/mem"
+	"mcudist/internal/memsim"
 	"mcudist/internal/model"
 	"mcudist/internal/partition"
 )
@@ -65,6 +66,15 @@ type ChipDeploy struct {
 	// MHSA and FC are the block-phase kernel sequences.
 	MHSA []kernels.Cost
 	FC   []kernels.Cost
+	// MHSAStream / FCStream are the memory-hierarchy tile plans of the
+	// phase sequences, index-parallel to MHSA / FC (nil entries for
+	// kernels that stream no tileable weights). Populated only when
+	// the platform enables the hierarchical memory model and the chip
+	// runs in the streamed tier; the simulator then executes those
+	// kernels tile-by-tile through the DRAM channel instead of the
+	// flat exposed-bytes accounting.
+	MHSAStream []*memsim.Plan
+	FCStream   []*memsim.Plan
 	// StreamBytesPerBlock is the weight traffic L3→L2 this chip
 	// incurs per block execution in steady state (zero for
 	// TierResidentAll).
@@ -241,17 +251,37 @@ func lowerChip(p *partition.Plan, chip int, hwp hw.Params, mode model.Mode, s, b
 	default:
 		return cd, fmt.Errorf("deploy: unknown strategy %v", p.Strategy)
 	}
-	attachL3Exposure(&cd, hwp, opts)
+	if err := attachL3Exposure(&cd, hwp, opts); err != nil {
+		return cd, err
+	}
 	return cd, nil
 }
 
 // attachL3Exposure derives the synchronous L3 traffic of the chip from
 // its tier: streamed chips move each phase's weights plus all
 // activations through L3; resident-single chips reload one block's
-// weights between blocks.
-func attachL3Exposure(cd *ChipDeploy, hwp hw.Params, opts Options) {
+// weights between blocks. Under the hierarchical memory model,
+// streamed weights are instead planned tile-by-tile through the DRAM
+// channel (MHSAStream/FCStream) and the exposed byte counts carry only
+// the activation spill.
+func attachL3Exposure(cd *ChipDeploy, hwp hw.Params, opts Options) error {
 	switch cd.Tier {
 	case TierStreamed:
+		if hwp.Mem.Enabled() {
+			ch := memsim.ChannelOf(hwp)
+			var err error
+			if cd.MHSAStream, err = streamPlans(ch, hwp.Mem, cd.MHSA); err != nil {
+				return err
+			}
+			if cd.FCStream, err = streamPlans(ch, hwp.Mem, cd.FC); err != nil {
+				return err
+			}
+			if !opts.NoActivationSpill {
+				cd.ExposedMHSABytes = hierSpillBytes(cd.MHSA, cd.MHSAStream)
+				cd.ExposedFCBytes = hierSpillBytes(cd.FC, cd.FCStream)
+			}
+			return nil
+		}
 		l1Tile := int64(hwp.Chip.L1Bytes / 2)
 		mw, fw := phaseWeightBytes(cd.MHSA), phaseWeightBytes(cd.FC)
 		cd.ExposedMHSABytes = weightShare(cd.StreamBytesPerBlock, mw, mw+fw)
@@ -263,6 +293,50 @@ func attachL3Exposure(cd *ChipDeploy, hwp hw.Params, opts Options) {
 	case TierResidentSingle:
 		cd.BlockLoadBytes = cd.StreamBytesPerBlock
 	}
+	return nil
+}
+
+// streamPlans builds the index-parallel tile plans of a phase's kernel
+// sequence: one plan per weight-streaming GEMM (family tiling resolved
+// per op), nil for everything else. Returns nil when the phase streams
+// no tileable weights at all.
+func streamPlans(ch memsim.Channel, m hw.MemHierarchy, ops []kernels.Cost) ([]*memsim.Plan, error) {
+	var plans []*memsim.Plan
+	for i := range ops {
+		g, ok := memsim.GEMMOf(ops[i])
+		if !ok {
+			continue
+		}
+		n, k := m.TileFor(ops[i].FFN)
+		pl, err := memsim.PlanGEMM(ch, g, memsim.Tiling{K: k, N: n})
+		if err != nil {
+			return nil, fmt.Errorf("deploy: tiling %s kernel %dx%dx%d: %w",
+				ops[i].Name, g.M, g.K, g.N, err)
+		}
+		if plans == nil {
+			plans = make([]*memsim.Plan, len(ops))
+		}
+		plans[i] = pl
+	}
+	return plans, nil
+}
+
+// hierSpillBytes is spillBytes under the hierarchical model: the
+// activation re-fetch count of a planned GEMM is its actual column
+// pass count (each N-tile group re-reads the M×K input slice), and
+// unplanned kernels keep the stage-in/stage-out minimum.
+func hierSpillBytes(ops []kernels.Cost, plans []*memsim.Plan) int64 {
+	var total int64
+	for i := range ops {
+		refetch := int64(2)
+		if plans != nil && plans[i] != nil {
+			if p := int64(plans[i].ActPasses) + 1; p > refetch {
+				refetch = p
+			}
+		}
+		total += ops[i].ActInBytes*refetch + ops[i].ActOutBytes
+	}
+	return total
 }
 
 func phaseWeightBytes(ops []kernels.Cost) int64 {

@@ -83,8 +83,13 @@ func kvResidentBytes(p *partition.Plan, chip int, s, batch int) int {
 func footprintAt(p *partition.Plan, chip int, mode model.Mode, s, batch, weightBlocks, commTile int, hwp hw.Params) mem.Footprint {
 	wb := p.BlockWeightBytesOnChip(chip) * weightBlocks
 	if weightBlocks == 0 {
-		// Streaming needs a double-buffered weight tile in L2.
+		// Streaming needs a double-buffered weight tile in L2 — or,
+		// under the hierarchical memory model, the prefetch engine's
+		// stream buffer of PrefetchDepth+1 tile slots.
 		wb = 2 * streamTileBytes(hwp)
+		if hwp.Mem.Enabled() {
+			wb = streamBufferBytes(p, hwp)
+		}
 	}
 	return mem.Footprint{
 		WeightBytes:     wb,
@@ -101,6 +106,29 @@ func streamTileBytes(hwp hw.Params) int {
 		t = 4096
 	}
 	return t
+}
+
+// streamBufferBytes sizes the hierarchical model's L2 stream buffer:
+// PrefetchDepth+1 slots (one active tile, the rest in flight) of the
+// largest tile either layer family pins — the full slot when a family
+// auto-sizes. Pinned tiles larger than a slot are capped here; the
+// planner rejects them with a real error when it builds the plans.
+func streamBufferBytes(p *partition.Plan, hwp hw.Params) int {
+	slot := streamTileBytes(hwp)
+	tile := 0
+	for _, ffn := range []bool{false, true} {
+		n, k := hwp.Mem.TileFor(ffn)
+		fam := slot
+		if n > 0 && k > 0 {
+			if fam = n * k * p.Config.WeightBytes; fam > slot {
+				fam = slot
+			}
+		}
+		if fam > tile {
+			tile = fam
+		}
+	}
+	return (hwp.Mem.PrefetchDepth + 1) * tile
 }
 
 // chooseTier picks the best placement the chip's L2 budget allows.

@@ -76,6 +76,16 @@ func fcOps(p *partition.Plan, chip int, mode model.Mode, s, batch int, hwp hw.Pa
 	if cfg.ReduceBytes < cfg.AccBytes {
 		ops = append(ops, kernels.Requant(hwp, sq, cfg.E, e))
 	}
+	return markFFN(ops)
+}
+
+// markFFN tags a kernel sequence as the feed-forward layer family so
+// the memory-hierarchy planner assigns it the FFN tiling. In place;
+// returns ops for call-site chaining.
+func markFFN(ops []kernels.Cost) []kernels.Cost {
+	for i := range ops {
+		ops[i].FFN = true
+	}
 	return ops
 }
 
@@ -123,16 +133,20 @@ func replicatedChipOps(p *partition.Plan, rows int, s int, hwp hw.Params) []kern
 	}
 	ops = append(ops, kernels.Linear(hwp, rows, cfg.P, cfg.E, e))
 	ops = append(ops, kernels.ResidualAdd(hwp, rows, cfg.E, e), kernels.Norm(hwp, rows, cfg.E, e))
-	ops = append(ops, kernels.Linear(hwp, rows, cfg.E, cfg.F, e))
+	// Everything from here on is the feed-forward sublayer: the fused
+	// per-chip list still carries the family split for the
+	// memory-hierarchy tiler.
+	var ffn []kernels.Cost
+	ffn = append(ffn, kernels.Linear(hwp, rows, cfg.E, cfg.F, e))
 	if cfg.FFN == model.FFNGated {
-		ops = append(ops, kernels.Linear(hwp, rows, cfg.E, cfg.F, e))
-		ops = append(ops, kernels.GELU(hwp, rows, cfg.F, e), kernels.ResidualAdd(hwp, rows, cfg.F, e))
+		ffn = append(ffn, kernels.Linear(hwp, rows, cfg.E, cfg.F, e))
+		ffn = append(ffn, kernels.GELU(hwp, rows, cfg.F, e), kernels.ResidualAdd(hwp, rows, cfg.F, e))
 	} else {
-		ops = append(ops, kernels.GELU(hwp, rows, cfg.F, e))
+		ffn = append(ffn, kernels.GELU(hwp, rows, cfg.F, e))
 	}
-	ops = append(ops, kernels.Linear(hwp, rows, cfg.F, cfg.E, e))
-	ops = append(ops, kernels.ResidualAdd(hwp, rows, cfg.E, e), kernels.Norm(hwp, rows, cfg.E, e))
-	return ops
+	ffn = append(ffn, kernels.Linear(hwp, rows, cfg.F, cfg.E, e))
+	ffn = append(ffn, kernels.ResidualAdd(hwp, rows, cfg.E, e), kernels.Norm(hwp, rows, cfg.E, e))
+	return append(ops, markFFN(ffn)...)
 }
 
 // singleChipBlockOps is the whole-block sequence on one chip (used by

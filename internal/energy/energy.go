@@ -49,10 +49,17 @@ const pJ = 1e-12
 // the network's local class for every byte — exactly the pre-refactor
 // uniform accounting.
 func FromResult(p hw.Params, res *perfsim.Result) Report {
+	// Under the hierarchical memory model, off-chip bytes cross the
+	// DRAM channel and pay its pJ/B; the flat model keeps the paper's
+	// L3 constant.
+	l3pj := p.Energy.L3PJPerByte
+	if p.Mem.Enabled() {
+		l3pj = p.Mem.DRAMPJPerByte
+	}
 	var rep Report
 	for _, st := range res.PerChip {
 		rep.Compute += p.Chip.ClusterPowerW * p.CyclesToSeconds(st.ComputeCycles)
-		rep.L3 += float64(st.L3Bytes) * p.Energy.L3PJPerByte * pJ
+		rep.L3 += float64(st.L3Bytes) * l3pj * pJ
 		rep.L2 += float64(st.L2L1Bytes) * p.Energy.L2PJPerByte * pJ
 		if len(st.C2CSentBytesByClass) > 0 {
 			for i, b := range st.C2CSentBytesByClass {

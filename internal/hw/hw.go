@@ -194,6 +194,12 @@ type Params struct {
 	// report cache keys on it, so the topology participates in
 	// memoization like every other hardware parameter.
 	Topology Topology
+	// Mem selects the off-chip memory model. The zero value is the
+	// legacy flat byte-count accounting (pinned byte-identical by the
+	// golden tests); MemDRAM prices streamed weights through
+	// internal/memsim's tiled DRAM channel with prefetch depth and
+	// SRAM bank contention.
+	Mem MemHierarchy
 }
 
 // Siracusa returns the default parameter set modeling the system of the
@@ -302,5 +308,5 @@ func (p Params) Validate() error {
 	if (p.Topology == TopoTree || p.Topology == TopoStar) && p.GroupSize < 2 {
 		return errors.New("hw: reduce group size must be at least 2 (select TopoStar for a flat all-to-one reduction)")
 	}
-	return nil
+	return p.Mem.Validate()
 }

@@ -43,6 +43,18 @@ type Cost struct {
 	ActInBytes int64
 	// ActOutBytes is activation output moved L1→L2.
 	ActOutBytes int64
+	// M, K, N record the GEMM shape (activations M×K against a K×N
+	// weight matrix) for kernels whose weight operand can be tiled by
+	// the memory-hierarchy simulator. Zero for elementwise kernels and
+	// for composite costs: Add deliberately drops the dims, because a
+	// summed cost is no longer one GEMM.
+	M, K, N int
+	// FFN marks the cost as belonging to the feed-forward layer
+	// family; the memory-hierarchy autotuner assigns attention and FFN
+	// GEMMs independent tilings. Set by the deployment planner (the
+	// kernel models don't know which sublayer invokes them), and
+	// likewise dropped by Add.
+	FFN bool
 }
 
 // Add combines two costs (sequential composition on one chip).
@@ -103,6 +115,9 @@ func Linear(p hw.Params, m, k, n int, e Elem) Cost {
 		WeightBytes: int64(k) * int64(n) * int64(e.Weight),
 		ActInBytes:  int64(m) * int64(k) * int64(e.Act),
 		ActOutBytes: int64(m) * int64(n) * int64(e.Act),
+		M:           m,
+		K:           k,
+		N:           n,
 	}
 }
 

@@ -38,6 +38,15 @@ func TestAllocDuplicateName(t *testing.T) {
 	if err := a.Alloc("w", 10); err == nil {
 		t.Fatal("duplicate name accepted")
 	}
+	// The rejected duplicate must not consume capacity, resize the
+	// original region, or leave a phantom entry behind.
+	if a.Used() != 10 {
+		t.Fatalf("failed duplicate changed used to %d", a.Used())
+	}
+	rs := a.Regions()
+	if len(rs) != 1 || rs[0].Name != "w" || rs[0].Bytes != 10 {
+		t.Fatalf("failed duplicate disturbed regions: %v", rs)
+	}
 }
 
 func TestAllocNegative(t *testing.T) {
@@ -65,6 +74,13 @@ func TestFailedAllocHasNoSideEffects(t *testing.T) {
 	}
 	if len(a.Regions()) != 1 {
 		t.Fatalf("failed alloc left %d regions", len(a.Regions()))
+	}
+	if a.Available() != 10 {
+		t.Fatalf("failed alloc changed available to %d", a.Available())
+	}
+	// The allocator must still be fully usable after the rejection.
+	if err := a.Alloc("fits", 10); err != nil {
+		t.Fatalf("exact-fit alloc after rejection failed: %v", err)
 	}
 }
 

@@ -1,0 +1,286 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+
+	"mcudist/internal/hw"
+	"mcudist/internal/kernels"
+)
+
+func testChannel() Channel {
+	p := hw.Siracusa()
+	p.Mem = hw.LPDDR5()
+	return ChannelOf(p)
+}
+
+func testGEMM() GEMM {
+	p := hw.Siracusa()
+	e := kernels.Elem{Weight: 1, Act: 1, Acc: 4, Reduce: 1}
+	g, ok := GEMMOf(kernels.Linear(p, 16, 2048, 5632, e))
+	if !ok {
+		panic("Linear cost must yield a GEMM")
+	}
+	return g
+}
+
+func TestTilingParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"auto", "256x128", "1x1", "2048x32"} {
+		tl, err := ParseTiling(s)
+		if err != nil {
+			t.Fatalf("ParseTiling(%q): %v", s, err)
+		}
+		back, err := ParseTiling(tl.String())
+		if err != nil || back != tl {
+			t.Fatalf("round trip %q -> %s -> %s (%v)", s, tl, back, err)
+		}
+	}
+	if tl, err := ParseTiling(""); err != nil || !tl.Zero() {
+		t.Fatalf("empty spelling must be auto, got %s, %v", tl, err)
+	}
+	for _, bad := range []string{"256", "x128", "256x", "0x8", "-4x8", "axb"} {
+		if _, err := ParseTiling(bad); err == nil {
+			t.Errorf("ParseTiling(%q): want error", bad)
+		}
+	}
+}
+
+func TestGEMMOf(t *testing.T) {
+	p := hw.Siracusa()
+	e := kernels.Elem{Weight: 1, Act: 1, Acc: 4, Reduce: 1}
+	lin := kernels.Linear(p, 4, 512, 256, e)
+	g, ok := GEMMOf(lin)
+	if !ok {
+		t.Fatal("Linear must yield a GEMM")
+	}
+	if g.M != 4 || g.K != 512 || g.N != 256 || g.WeightElemBytes != 1 || g.ActElemBytes != 1 {
+		t.Fatalf("GEMMOf(Linear) = %+v", g)
+	}
+	if g.ComputeCycles != lin.Cycles {
+		t.Fatalf("compute cycles %g != kernel cycles %g", g.ComputeCycles, lin.Cycles)
+	}
+	// Activation-activation matmuls stream no weights: not tileable.
+	if _, ok := GEMMOf(kernels.MatMulAct(p, 4, 512, 256, e)); ok {
+		t.Fatal("MatMulAct must not yield a GEMM")
+	}
+	// Elementwise kernels carry no dims.
+	if _, ok := GEMMOf(kernels.Softmax(p, 4, 256, e)); ok {
+		t.Fatal("Softmax must not yield a GEMM")
+	}
+	// Composite costs drop their dims: a sum is not one GEMM.
+	if _, ok := GEMMOf(lin.Add(lin)); ok {
+		t.Fatal("summed cost must not yield a GEMM")
+	}
+}
+
+// TestPlanConservation checks the per-tile accounting sums to the whole
+// GEMM no matter the tiling: weight bytes, activation passes, compute.
+func TestPlanConservation(t *testing.T) {
+	ch := testChannel()
+	g := testGEMM()
+	for _, tl := range []Tiling{{}, {K: 2048, N: 32}, {K: 256, N: 128}, {K: 333, N: 77}} {
+		p, err := PlanGEMM(ch, g, tl)
+		if err != nil {
+			t.Fatalf("PlanGEMM(%s): %v", tl, err)
+		}
+		wantW := int64(g.K) * int64(g.N) * int64(g.WeightElemBytes)
+		if p.WeightBytes != wantW {
+			t.Errorf("%s: weight bytes %d, want %d", tl, p.WeightBytes, wantW)
+		}
+		var comp float64
+		var l2l1 int64
+		for i := 0; i < p.Tiles; i++ {
+			comp += p.Comp[i]
+			l2l1 += p.L2L1Bytes[i]
+		}
+		if math.Abs(comp-g.ComputeCycles) > 1e-6*g.ComputeCycles {
+			t.Errorf("%s: compute %g, want %g", tl, comp, g.ComputeCycles)
+		}
+		// L2L1 = weights + nN activation passes + one output write.
+		nN := (g.N + p.Tiling.N - 1) / p.Tiling.N
+		wantL2L1 := wantW +
+			int64(nN)*int64(g.M)*int64(g.K)*int64(g.ActElemBytes) +
+			int64(g.M)*int64(g.N)*int64(g.ActElemBytes)
+		if l2l1 != wantL2L1 {
+			t.Errorf("%s: l2l1 bytes %d, want %d", tl, l2l1, wantL2L1)
+		}
+	}
+}
+
+func TestPlanRejects(t *testing.T) {
+	ch := testChannel()
+	g := testGEMM()
+	// A tile bigger than the stream-buffer slot must be rejected, not
+	// silently clamped.
+	if _, err := PlanGEMM(ch, g, Tiling{K: 2048, N: 2048}); err == nil {
+		t.Fatal("want slot-overflow error")
+	}
+	if _, err := PlanGEMM(Channel{}, g, Tiling{}); err == nil {
+		t.Fatal("want unconfigured-channel error")
+	}
+	if _, err := PlanGEMM(ch, GEMM{}, Tiling{}); err == nil {
+		t.Fatal("want bad-shape error")
+	}
+}
+
+func TestAutoTilingFits(t *testing.T) {
+	ch := testChannel()
+	g := testGEMM()
+	tl := AutoTiling(ch, g)
+	if int64(tl.K)*int64(tl.N)*int64(g.WeightElemBytes) > ch.SlotBytes {
+		t.Fatalf("auto tiling %s exceeds slot %d", tl, ch.SlotBytes)
+	}
+	// A GEMM that already fits keeps its full shape.
+	small := GEMM{M: 1, K: 64, N: 64, WeightElemBytes: 1, ActElemBytes: 1, ComputeCycles: 100}
+	if tl := AutoTiling(ch, small); tl.K != 64 || tl.N != 64 {
+		t.Fatalf("small GEMM auto tiling = %s", tl)
+	}
+}
+
+// naiveMakespan replays the plan with an explicit event simulation:
+// one channel resource, one work resource, slot drain times tracked
+// individually. Independent of the ring-buffer recurrence in Makespan.
+func naiveMakespan(p *Plan) float64 {
+	slots := p.Depth + 1
+	slotFree := make([]float64, slots)
+	var channelFree, workFree float64
+	for i := 0; i < p.Tiles; i++ {
+		fetchStart := math.Max(channelFree, slotFree[i%slots])
+		fetchDone := fetchStart + p.Fetch[i]
+		channelFree = fetchDone
+		workStart := math.Max(workFree, fetchDone)
+		workDone := workStart + p.DMA[i] + p.Comp[i] + p.Stall[i]
+		workFree = workDone
+		slotFree[i%slots] = workDone
+	}
+	return workFree
+}
+
+func TestMakespanMatchesNaiveReplay(t *testing.T) {
+	ch := testChannel()
+	g := testGEMM()
+	for _, depth := range []int{1, 2, 4} {
+		for _, tl := range []Tiling{{}, {K: 2048, N: 32}, {K: 256, N: 128}, {K: 64, N: 64}} {
+			c := ch
+			c.Depth = depth
+			p, err := PlanGEMM(c, g, tl)
+			if err != nil {
+				t.Fatalf("PlanGEMM(depth=%d, %s): %v", depth, tl, err)
+			}
+			got, want := p.Makespan(), naiveMakespan(p)
+			if got != want {
+				t.Errorf("depth=%d %s: Makespan %g != naive %g", depth, tl, got, want)
+			}
+			if p.ExposedCycles() < -1e-9 {
+				t.Errorf("depth=%d %s: negative exposed cycles %g", depth, tl, p.ExposedCycles())
+			}
+		}
+	}
+}
+
+func TestMakespanMonotoneInDepth(t *testing.T) {
+	ch := testChannel()
+	g := testGEMM()
+	prev := math.Inf(1)
+	for _, depth := range []int{1, 2, 4, 8} {
+		c := ch
+		c.Depth = depth
+		p, err := PlanGEMM(c, g, Tiling{K: 256, N: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := p.Makespan()
+		if ms > prev+1e-9 {
+			t.Fatalf("depth %d makespan %g worse than shallower %g", depth, ms, prev)
+		}
+		prev = ms
+	}
+}
+
+func TestStallMonotoneInBanks(t *testing.T) {
+	ch := testChannel()
+	g := testGEMM()
+	var prev float64 = math.Inf(1)
+	for _, banks := range []int{1, 2, 8, 64} {
+		c := ch
+		c.Banks = banks
+		p, err := PlanGEMM(c, g, Tiling{K: 256, N: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stall float64
+		for _, s := range p.Stall {
+			stall += s
+		}
+		if stall > prev+1e-9 {
+			t.Fatalf("banks %d total stall %g worse than fewer banks %g", banks, stall, prev)
+		}
+		if banks > 1 && stall >= prev {
+			t.Fatalf("banks %d stall %g did not strictly improve on %g", banks, stall, prev)
+		}
+		prev = stall
+	}
+}
+
+func TestCandidateTilingsFitAndDedupe(t *testing.T) {
+	ch := testChannel()
+	g := testGEMM()
+	cands := CandidateTilings(ch, g)
+	if len(cands) < 4 {
+		t.Fatalf("only %d candidates for a %dx%d GEMM", len(cands), g.K, g.N)
+	}
+	seen := make(map[Tiling]bool)
+	for _, tl := range cands {
+		if seen[tl] {
+			t.Fatalf("duplicate candidate %s", tl)
+		}
+		seen[tl] = true
+		if int64(tl.K)*int64(tl.N)*int64(g.WeightElemBytes) > ch.SlotBytes {
+			t.Fatalf("candidate %s exceeds slot", tl)
+		}
+		if _, err := PlanGEMM(ch, g, tl); err != nil {
+			t.Fatalf("candidate %s does not plan: %v", tl, err)
+		}
+	}
+	if !seen[AutoTiling(ch, g)] {
+		t.Fatalf("auto tiling %s missing from candidates", AutoTiling(ch, g))
+	}
+}
+
+// TestTilingIsARealTradeoff pins that neither extreme of the candidate
+// grid wins: some interior tiling beats both the largest-fitting tile
+// (no overlap) and the smallest candidate (setup-dominated), so the
+// autotuner has something to find.
+func TestTilingIsARealTradeoff(t *testing.T) {
+	ch := testChannel()
+	g := testGEMM()
+	cands := CandidateTilings(ch, g)
+	best, worst := math.Inf(1), 0.0
+	var bestT Tiling
+	for _, tl := range cands {
+		p, err := PlanGEMM(ch, g, tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := p.Makespan()
+		if ms < best {
+			best, bestT = ms, tl
+		}
+		if ms > worst {
+			worst = ms
+		}
+	}
+	if worst <= best {
+		t.Fatalf("all %d tilings cost the same (%g)", len(cands), best)
+	}
+	auto, err := PlanGEMM(ch, g, Tiling{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best >= auto.Makespan() {
+		t.Fatalf("no candidate beats the auto tiling (%s best %g, auto %g)",
+			bestT, best, auto.Makespan())
+	}
+	t.Logf("best %s = %.0f cycles, auto %s = %.0f, worst = %.0f (%.2fx spread)",
+		bestT, best, auto.Tiling, auto.Makespan(), worst, worst/best)
+}

@@ -311,6 +311,37 @@ func SmolLM135M() Config {
 	}
 }
 
+// EdgeLlama1B is the bigger-than-SRAM scenario tier: a ~1B-parameter
+// Llama-3.2-1B-shaped decoder (hidden 2048, 32 query heads sharing 8
+// KV heads, gated FFN of 5632, 22 blocks; ~45 MB of int8 block
+// weights, ~5.6 MB per chip per block even at 8 chips). No chip count
+// keeps a block slice resident in a 2 MiB L2, so every deployment runs
+// in the streamed tier — the regime the DRAM-backed memory-hierarchy
+// model (hw.MemHierarchy) exists to price and the paper's
+// fits-on-chip accounting cannot.
+func EdgeLlama1B() Config {
+	return Config{
+		Name:        "edgellama-1b",
+		Arch:        Decoder,
+		VocabSize:   128256,
+		E:           2048,
+		P:           2048,
+		H:           32,
+		KVHeads:     8,
+		F:           5632,
+		L:           22,
+		Norm:        RMSNorm,
+		FFN:         FFNGated,
+		RoPE:        true,
+		RoPETheta:   10000,
+		NormEps:     1e-5,
+		WeightBytes: 1,
+		ActBytes:    1,
+		AccBytes:    4,
+		ReduceBytes: 1,
+	}
+}
+
 // PaperSeqLen returns the sequence length the paper uses for the given
 // model and mode.
 func PaperSeqLen(c Config, m Mode) int {

@@ -40,6 +40,7 @@ import (
 	"mcudist/internal/hw"
 	"mcudist/internal/interconnect"
 	"mcudist/internal/kernels"
+	"mcudist/internal/memsim"
 	"mcudist/internal/model"
 	"mcudist/internal/partition"
 	"mcudist/internal/trace"
@@ -245,6 +246,14 @@ type Sim struct {
 	strFactor  float64
 	degChip    int
 	degFactor  float64
+
+	// Hierarchical memory model state: when the platform enables it,
+	// off-chip transfers are priced on the DRAM channel (memCh) and
+	// streamed GEMMs execute tile-by-tile (execTiled) over the
+	// tileRing scratch that tracks stream-buffer slot drain times.
+	memEnabled bool
+	memCh      memsim.Channel
+	tileRing   []float64
 }
 
 // loweredSched is one schedule bound for this run plus the run-local
@@ -386,6 +395,10 @@ func (s *Sim) RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, erro
 	s.dmaL3BPC = d.HW.Chip.DMAL3L2BytesPerCycle
 	s.dmaL3Setup = d.HW.Chip.DMAL3L2SetupCycles
 	s.l1Tile = int64(d.HW.Chip.L1Bytes / 2)
+	s.memEnabled = d.HW.Mem.Enabled()
+	if s.memEnabled {
+		s.memCh = memsim.ChannelOf(d.HW)
+	}
 	s.strChip, s.strFactor = d.Options.StragglerChip, d.Options.StragglerFactor
 	s.degChip, s.degFactor = d.Options.DegradedLinkChip, d.Options.DegradedLinkFactor
 	if s.scheds == nil {
@@ -695,13 +708,23 @@ func (s *Sim) execScaled(chip int, t float64, cost *kernels.Cost, frac float64) 
 	return s.execCost(chip, t, &scaled)
 }
 
+// l3Time prices moving bytes over the off-chip path: the DRAM channel
+// (per-burst setup + bandwidth) under the hierarchical model, the flat
+// I/O-DMA accounting otherwise.
+func (s *Sim) l3Time(bytes int64) float64 {
+	if s.memEnabled {
+		return s.memCh.TransferCycles(bytes)
+	}
+	return kernels.DMATime(bytes, s.dmaL3BPC, s.dmaL3Setup, s.l1Tile)
+}
+
 // l3Load streams bytes from L3 into L2 starting no earlier than t and
 // returns the completion time. spill marks activation-spill traffic.
 func (s *Sim) l3Load(chip int, t float64, bytes int64, spill bool) float64 {
 	if bytes <= 0 {
 		return t
 	}
-	dur := kernels.DMATime(bytes, s.dmaL3BPC, s.dmaL3Setup, s.l1Tile)
+	dur := s.l3Time(bytes)
 	end := s.io[chip].UseAfter(t, dur, nil)
 	if s.tl != nil {
 		label := "weights"
@@ -728,7 +751,7 @@ func (s *Sim) l3Background(chip int, t float64, bytes int64) float64 {
 	if bytes <= 0 {
 		return 0
 	}
-	dur := kernels.DMATime(bytes, s.dmaL3BPC, s.dmaL3Setup, s.l1Tile)
+	dur := s.l3Time(bytes)
 	end := s.io[chip].UseAfter(t, dur, nil)
 	s.span(chip, "dma-l3", "prefetch", end-dur, end)
 	s.stats[chip].L3Bytes += bytes
@@ -737,8 +760,11 @@ func (s *Sim) l3Background(chip int, t float64, bytes int64) float64 {
 
 // phase executes a kernel list with optional synchronous L3 traffic
 // (TierStreamed weights + activation spill), serialized before the
-// compute as on a capacity-starved chip.
-func (s *Sim) phase(chip int, t float64, ops []kernels.Cost, exposedL3 int64, spillShare int64) float64 {
+// compute as on a capacity-starved chip. plans, when non-nil, is the
+// index-parallel tile-plan list of the hierarchical memory model:
+// planned kernels execute tile-by-tile through the DRAM channel
+// instead of the monolithic execCost path.
+func (s *Sim) phase(chip int, t float64, ops []kernels.Cost, plans []*memsim.Plan, exposedL3 int64, spillShare int64) float64 {
 	if exposedL3 > 0 {
 		weightPart := exposedL3 - spillShare
 		if weightPart > 0 {
@@ -749,9 +775,71 @@ func (s *Sim) phase(chip int, t float64, ops []kernels.Cost, exposedL3 int64, sp
 		}
 	}
 	for i := range ops {
-		t = s.execCost(chip, t, &ops[i])
+		if plans != nil && plans[i] != nil {
+			t = s.execTiled(chip, t, &ops[i], plans[i])
+		} else {
+			t = s.execCost(chip, t, &ops[i])
+		}
 	}
 	return t
+}
+
+// execTiled runs one weight-streaming GEMM tile-by-tile: each tile's
+// DRAM fetch occupies the chip's io engine (gated by the channel being
+// free and by its stream-buffer slot having drained, Depth+1 slots),
+// then its L2→L1 DMA and compute+stall serialize after the previous
+// tile's work — exactly the recurrence Plan.Makespan evaluates in
+// closed form, so with a free chip the elapsed time equals the plan
+// makespan (pinned by a test; the identity is what lets the autotuner
+// rank tilings without simulating).
+//
+// Accounting: per-tile DMA and compute are billed to their own
+// breakdown buckets, bank-contention stalls and the fetch latency the
+// prefetch failed to hide are billed as off-chip (L3) time, and the
+// whole weight matrix is billed once as off-chip bytes — so the root
+// chip's buckets still sum exactly to its elapsed time.
+func (s *Sim) execTiled(chip int, t float64, cost *kernels.Cost, p *memsim.Plan) float64 {
+	slots := p.Depth + 1
+	ring := growFloats(s.tileRing, slots)
+	s.tileRing = ring
+	start := t
+	prevCd := t
+	var charged float64
+	st := &s.stats[chip]
+	for i := 0; i < p.Tiles; i++ {
+		ready := start
+		if r := ring[i%slots]; r > ready {
+			ready = r
+		}
+		fEnd := s.io[chip].UseAfter(ready, p.Fetch[i], nil)
+		if s.tl != nil {
+			s.span(chip, "dma-l3", "tile-fetch", fEnd-p.Fetch[i], fEnd)
+		}
+		dEnd := s.dma[chip].UseAfter(maxF(fEnd, prevCd), p.DMA[i], nil)
+		s.span(chip, "dma-l2l1", cost.Name, dEnd-p.DMA[i], dEnd)
+		comp := p.Comp[i]
+		if f := s.strFactor; f > 0 && chip == s.strChip {
+			comp /= f
+		}
+		work := comp + p.Stall[i]
+		cEnd := s.cluster[chip].UseAfter(dEnd, work, nil)
+		s.span(chip, "compute", cost.Name, cEnd-work, cEnd)
+		st.L2L1Cycles += p.DMA[i]
+		st.L2L1Bytes += p.L2L1Bytes[i]
+		st.ComputeCycles += comp
+		st.L3Cycles += p.Stall[i]
+		charged += p.DMA[i] + comp + p.Stall[i]
+		ring[i%slots] = cEnd
+		prevCd = cEnd
+	}
+	st.L3Bytes += p.WeightBytes
+	if exposed := (prevCd - start) - charged; exposed > 0 {
+		st.L3Cycles += exposed
+	}
+	if prevCd > st.End {
+		st.End = prevCd
+	}
+	return prevCd
 }
 
 // hopOn moves payload across one directed link resource of the given
@@ -948,15 +1036,15 @@ func (s *Sim) runTensorParallel() float64 {
 				// blocks.
 				t = s.l3Load(c, t, cd.BlockLoadBytes, false)
 			}
-			spill := cd.ExposedMHSABytes - weightPartOf(cd, true)
-			phaseEnd[c] = s.phase(c, t, cd.MHSA, cd.ExposedMHSABytes, spill)
+			spill := cd.ExposedMHSABytes - s.weightPartOf(cd, true)
+			phaseEnd[c] = s.phase(c, t, cd.MHSA, cd.MHSAStream, cd.ExposedMHSABytes, spill)
 		}
 		afterMHSA := s.sync(cls[0], phaseEnd, s.d.ReducePayload, s.d.BcastPayload, s.d.RootSync)
 
 		for c := 0; c < n; c++ {
 			cd := &s.d.Chips[c]
-			spill := cd.ExposedFCBytes - weightPartOf(cd, false)
-			phaseEnd[c] = s.phase(c, afterMHSA[c], cd.FC, cd.ExposedFCBytes, spill)
+			spill := cd.ExposedFCBytes - s.weightPartOf(cd, false)
+			phaseEnd[c] = s.phase(c, afterMHSA[c], cd.FC, cd.FCStream, cd.ExposedFCBytes, spill)
 		}
 		ready = s.sync(cls[1], phaseEnd, s.d.ReducePayload, s.d.BcastPayload, s.d.RootSync)
 
@@ -983,8 +1071,10 @@ func (s *Sim) runTensorParallel() float64 {
 }
 
 // weightPartOf returns the weight share of a phase's exposed L3 bytes.
-func weightPartOf(cd *deploy.ChipDeploy, mhsa bool) int64 {
-	if cd.Tier != deploy.TierStreamed {
+// Zero under the hierarchical memory model: streamed weights execute
+// through their tile plans, so the exposed bytes are pure spill.
+func (s *Sim) weightPartOf(cd *deploy.ChipDeploy, mhsa bool) int64 {
+	if cd.Tier != deploy.TierStreamed || s.memEnabled {
 		return 0
 	}
 	var mw, fw int64
@@ -1030,8 +1120,8 @@ func (s *Sim) runReplicated() float64 {
 			if cd.Tier == deploy.TierResidentSingle {
 				t = s.l3Load(c, t, cd.BlockLoadBytes, false)
 			}
-			spill := cd.ExposedMHSABytes - weightPartOf(cd, true)
-			phaseEnd[c] = s.phase(c, t, cd.MHSA, cd.ExposedMHSABytes, spill)
+			spill := cd.ExposedMHSABytes - s.weightPartOf(cd, true)
+			phaseEnd[c] = s.phase(c, t, cd.MHSA, cd.MHSAStream, cd.ExposedMHSABytes, spill)
 		}
 		if active > 1 {
 			// Two synchronizations per block: K/V exchange before
@@ -1058,8 +1148,8 @@ func (s *Sim) runPipeline() float64 {
 			if cd.Tier == deploy.TierResidentSingle {
 				t = s.l3Load(c, t, cd.BlockLoadBytes, false)
 			}
-			spill := cd.ExposedMHSABytes - weightPartOf(cd, true)
-			t = s.phase(c, t, cd.MHSA, cd.ExposedMHSABytes, spill)
+			spill := cd.ExposedMHSABytes - s.weightPartOf(cd, true)
+			t = s.phase(c, t, cd.MHSA, cd.MHSAStream, cd.ExposedMHSABytes, spill)
 		}
 		if c+1 < n {
 			t = s.hopOn(s.link(c, c+1), c, c+1, t, actPayload, s.pipeIDs[c])

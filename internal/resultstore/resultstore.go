@@ -60,7 +60,11 @@ import (
 // v2: core.Workload gained the Batch field (decode micro-batch
 // width), which changes the canonical %#v rendering of every
 // workload.
-const DigestVersion = 2
+//
+// v3: hw.Params gained the Mem hierarchy (profile, DRAM channel,
+// prefetch depth, SRAM banks, per-family tilings, DRAM energy), which
+// changes the canonical rendering of every system.
+const DigestVersion = 3
 
 // Digest returns the canonical content address of one evaluation
 // point: a versioned sha256 over an exact rendering of every System

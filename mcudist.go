@@ -26,6 +26,7 @@ import (
 	"mcudist/internal/explore"
 	"mcudist/internal/fleet"
 	"mcudist/internal/hw"
+	"mcudist/internal/memsim"
 	"mcudist/internal/model"
 	"mcudist/internal/numeric"
 	"mcudist/internal/partition"
@@ -111,6 +112,28 @@ type (
 	PlanFrontierResult = explore.PlanFrontierResult
 	// PlanPoint is one verified point of a plan frontier scan.
 	PlanPoint = explore.PlanPoint
+	// MemHierarchy describes the DRAM-backed memory hierarchy behind
+	// the streamed weight tier (System.HW.Mem): the DRAM channel's
+	// bandwidth / burst / prefetch-depth knobs, the SRAM bank count,
+	// and the per-layer-family tile shapes. The zero value keeps the
+	// paper's flat off-chip model, byte-identical.
+	MemHierarchy = hw.MemHierarchy
+	// MemProfile selects the off-chip memory model (flat | dram).
+	MemProfile = hw.MemProfile
+	// Tiling is one streamed-GEMM tile shape (K x N weight tile); the
+	// zero value auto-sizes to the stream-buffer slot.
+	Tiling = memsim.Tiling
+	// TilingOptions tunes the per-family tiling autotuner (the TopK
+	// pruning knob, the per-family Candidates cap, the Exhaustive
+	// ground-truth mode).
+	TilingOptions = explore.TilingOptions
+	// TilingResult is the outcome of a per-family tiling autotuning:
+	// the winning (attention, FFN) tile pair, its margin over the best
+	// uniform tiling, the closed-form predictor's rank accuracy, and
+	// the exact-simulation bill.
+	TilingResult = explore.TilingResult
+	// TilingCandidate is one exactly-verified tiling pair.
+	TilingCandidate = explore.TilingCandidate
 	// ResultStore is the persistent content-addressed result cache
 	// (see OpenResultStore).
 	ResultStore = resultstore.Store
@@ -315,6 +338,13 @@ func MobileBERT512() Config { return model.MobileBERT512() }
 // extension of the partitioning scheme).
 func SmolLM135M() Config { return model.SmolLM135M() }
 
+// EdgeLlama1B returns the bigger-than-SRAM scenario tier: a
+// billion-parameter Llama-3.2-1B-shaped decoder whose block weights
+// never fit a chip's L2 at any chip count, so every deployment
+// streams from off-chip — the regime the DRAM-backed memory
+// hierarchy (MemHierarchy, LPDDR5) exists to price.
+func EdgeLlama1B() Config { return model.EdgeLlama1B() }
+
 // PaperSeqLen returns the sequence length the paper uses for a model
 // and mode.
 func PaperSeqLen(c Config, m Mode) int { return model.PaperSeqLen(c, m) }
@@ -467,6 +497,37 @@ func PlanFrontier(base System, cfg Config, chips []int, opts PlanFrontierOptions
 func PlanBudgetFit(base System, cfg Config, maxChips int, maxSeconds, maxJoules float64, opts PlanFrontierOptions) (*PlanPoint, error) {
 	return explore.PlanBudgetFit(base, cfg, maxChips, maxSeconds, maxJoules, opts)
 }
+
+// LPDDR5 returns a representative DRAM-backed memory hierarchy for
+// the streamed weight tier: an LPDDR5-class channel (8 B/cycle, 512 B
+// bursts, 96-cycle burst setup, prefetch depth 2, 60 pJ/B) feeding an
+// 8-bank L1 arbiter. Set it on System.HW.Mem to replace the paper's
+// flat off-chip pricing with tiled double-buffered streaming.
+func LPDDR5() MemHierarchy { return hw.LPDDR5() }
+
+// ParseMemProfile maps a command-line spelling (flat | dram, with the
+// lpddr5 / hierarchy / tiled aliases) to a MemProfile.
+func ParseMemProfile(s string) (MemProfile, error) { return hw.ParseMemProfile(s) }
+
+// ParseTiling parses the command-line tile-shape syntax "KxN" (e.g.
+// "256x128"); "auto" or the empty string is the auto-sized zero
+// tiling.
+func ParseTiling(s string) (Tiling, error) { return memsim.ParseTiling(s) }
+
+// AutotuneTiling tunes the memory hierarchy's tile shapes per layer
+// family — one tiling for the attention projections, one for the
+// feed-forward matrices — for a streamed-tier deployment, with zero
+// probe simulations: closed-form tile-plan makespans rank the
+// candidate pairs and only the predicted top-K plus the best uniform
+// tilings are verified exactly. Set HW.Mem.TileK/TileN and
+// FFNTileK/FFNTileN from the returned pair to deploy the winner.
+func AutotuneTiling(base System, wl Workload, opts TilingOptions) (*TilingResult, error) {
+	return explore.AutotuneTiling(base, wl, opts)
+}
+
+// DefaultTilingTopK is the number of predicted-best tiling pairs
+// AutotuneTiling verifies exactly when TilingOptions.TopK is zero.
+const DefaultTilingTopK = explore.DefaultTilingTopK
 
 // MIPI returns the paper's chip-to-chip link class: 0.5 GB/s, 256
 // setup cycles, 100 pJ/B.

@@ -22,6 +22,7 @@ import (
 	"mcudist/internal/interconnect"
 	"mcudist/internal/memsim"
 	"mcudist/internal/model"
+	"mcudist/internal/resilience"
 	"mcudist/internal/resultstore"
 )
 
@@ -773,4 +774,30 @@ func BenchmarkAutotuneTiling(b *testing.B) {
 	b.ReportMetric(float64(res.ExactSims), "exact_sims")
 	b.ReportMetric(float64(res.GridSims), "grid_sims")
 	b.ReportMetric(float64(res.GridSims)/float64(res.ExactSims), "sims_saved_x")
+}
+
+// BenchmarkPerturbReplan measures the resilience tier's fault-to-plan
+// latency: each iteration drops a chip out of the pristine 8-chip
+// board and re-runs the joint session autotuner on the degraded
+// wiring, against a cold in-process memo — the full cost a fleet pays
+// at fault time before the re-planned collective plan is in hand. The
+// margin metric is the latency factor a static fleet keeps paying by
+// serving the stale plan instead.
+func BenchmarkPerturbReplan(b *testing.B) {
+	sys := core.DefaultSystem(8)
+	cfg := model.TinyLlama42M()
+	faults := []resilience.Fault{resilience.DropChip(3)}
+	var study *resilience.Study
+	for i := 0; i < b.N; i++ {
+		evalpool.ResetCache()
+		s, err := resilience.ReplanStudy(sys, cfg, faults, explore.SessionOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		study = s
+	}
+	b.ReportMetric(study.Replan.MarginCycles, "resilience_margin")
+	b.ReportMetric(study.Replan.MarginJoules, "resilience_margin_joules")
+	b.ReportMetric(float64(study.Replan.ExactSims), "replan_exact_sims")
+	b.ReportMetric(float64(study.DegradedChips), "degraded_chips")
 }

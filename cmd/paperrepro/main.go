@@ -35,7 +35,7 @@ type step struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations topology network syncplan session extensions fleet memtier")
+	only := flag.String("only", "", "run one experiment: fig4a fig4b fig4c fig5a fig5b fig5c fig6 table1 headline ablations topology network syncplan session extensions fleet memtier resilience")
 	workers := flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 	cluster := flag.Int("cluster", 4, "network ablation: chips per fast local cluster")
 	backhaul := flag.Float64("backhaul", 10, "network ablation: inter-cluster bandwidth slowdown vs MIPI")
@@ -81,6 +81,7 @@ func main() {
 		{"extensions", extensions},
 		{"fleet", fleetStudy},
 		{"memtier", memtier},
+		{"resilience", resilienceStudy},
 	}
 	ran := 0
 	for _, s := range all {
@@ -438,6 +439,32 @@ func memtier() error {
 	for _, r := range tiles {
 		t.AddRow(r.Model, r.Chips, r.Attn, r.FFN, r.Cycles, r.BestUniform, r.Margin,
 			r.EnergyMargin, r.RankAccuracy, r.ExactSims, r.GridSims)
+	}
+	return t.Render(os.Stdout)
+}
+
+// resilienceStudy renders the resilience-margin study: each fault
+// family (dropped chip, 10x-degraded link, 2x compute straggler) at
+// the 8- and 64-chip pinned operating points, racing the stale
+// pristine-tuned plan against re-planning on the degraded board. The
+// margin column is the latency factor a static fleet pays for not
+// re-planning — >= 1 by construction, +Inf when the stale plan no
+// longer validates on the degraded wiring.
+func resilienceStudy() error {
+	rows, err := experiments.ResilienceMargin()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Resilience margin (stale plan vs re-planning on the degraded board)",
+		"chips", "faults", "degraded_chips", "stale_plan", "static_cycles",
+		"adopted_plan", "replan_pays", "margin", "margin_joules", "exact_sims")
+	for _, r := range rows {
+		static := any(r.StaticCycles)
+		if r.StaticErr != "" {
+			static = "infeasible"
+		}
+		t.AddRow(r.Chips, r.Faults, r.DegradedChips, r.StalePlan, static,
+			r.AdoptedPlan, yn(r.ReplanPays), r.MarginCycles, r.MarginJoules, r.ExactSims)
 	}
 	return t.Render(os.Stdout)
 }

@@ -23,6 +23,11 @@
 //	sweep -model edgellama -chips 8 -mem dram -autotune-tiling
 //	sweep -fleet -model scaled -chips 64 -groups 2 -rates 50,100,200,400
 //	sweep -fleet -chips 8 -max-batch 4 -requests 5000 -fleet-autotune
+//	sweep -model tinyllama -chips 4 -netlist board.netlist
+//	sweep -model tinyllama -chips 8 -fault slow:0-1x10
+//	sweep -model scaled -chips 64 -replan -fault drop:3
+//	sweep -fleet -chips 8 -groups 2 -fault drop:3 -fault-at 5 -fault-replan
+//	sweep -model scaled -chips 8 -cache-dir /tmp/c -cache-compact /tmp/c.compact
 package main
 
 import (
@@ -42,6 +47,7 @@ import (
 	"mcudist/internal/model"
 	"mcudist/internal/prof"
 	"mcudist/internal/report"
+	"mcudist/internal/resilience"
 	"mcudist/internal/resultstore"
 )
 
@@ -67,6 +73,12 @@ func main() {
 		maxBatch   = flag.Int("max-batch", 0, "fleet: decode micro-batch cap per group (0 = default 8; 1 = no batching)")
 		fleetTune  = flag.Bool("fleet-autotune", false, "fleet: pick each group's collective plan with the session autotuner")
 		fleetSlow  = flag.Bool("fleet-serial", false, "fleet: disable the parallel shape pre-pricing pass and price every step lazily inside the serial event loop (the reference path; output is byte-identical either way)")
+		netlist    = flag.String("netlist", "", "measured per-edge wiring file (chips/class/link directives); selects the table network profile and overrides -network")
+		faultSpec  = flag.String("fault", "", "fault injection spec, comma-separated: drop:CHIP | slow:FROM-TOxFACTOR | straggle:CHIPxFACTOR (e.g. drop:3,slow:0-1x10); degrades each swept system before pricing")
+		replan     = flag.Bool("replan", false, "resilience study: autotune the pristine system at each chip count, apply -fault, and race the stale plan against re-planning on the degraded board (one CSV row per chip count)")
+		faultAt    = flag.Float64("fault-at", 0, "fleet: fault time on the fleet clock in seconds (with -fleet -fault)")
+		faultGroup = flag.Int("fault-group", 0, "fleet: chip group the -fault degrades")
+		faultTune  = flag.Bool("fault-replan", false, "fleet: re-tune the degraded group's collective plan at fault time")
 		memName    = flag.String("mem", "flat", "off-chip memory model: flat (legacy byte count) | dram (LPDDR5-backed tiled hierarchy)")
 		memDepth   = flag.Int("mem-depth", 0, "dram: prefetch depth, weight tiles fetched ahead of compute (0 = preset)")
 		memBanks   = flag.Int("mem-banks", 0, "dram: interleaved SRAM banks between prefetch and compute (0 = preset)")
@@ -80,6 +92,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent evaluations (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", "", "persistent result store directory: configurations simulated once are reloaded on every later run (default off; falls back to $MCUDIST_CACHE)")
 		cacheStats = flag.Bool("cache-stats", false, "print memory-hit / disk-hit / exact-simulation counts and store size to stderr after the sweep")
+		compactDir = flag.String("cache-compact", "", "after the sweep, compact the persistent store into this directory, keeping only current-format entries (requires an attached store)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -99,6 +112,11 @@ func main() {
 		fatal(err)
 	}
 	defer printCacheStats(*cacheStats, store)
+	defer func() {
+		if err := compactCache(*compactDir, store); err != nil {
+			fatal(err)
+		}
+	}()
 
 	topo, err := hw.ParseTopology(*topoName)
 	if err != nil {
@@ -107,6 +125,24 @@ func main() {
 	network, err := buildNetwork(*netName, *cluster, *backhaul)
 	if err != nil {
 		fatal(err)
+	}
+	if *netlist != "" {
+		nl, err := resilience.LoadNetlist(*netlist)
+		if err != nil {
+			fatal(err)
+		}
+		if network, err = nl.Network(); err != nil {
+			fatal(err)
+		}
+	}
+	var faults []resilience.Fault
+	if *faultSpec != "" {
+		if faults, err = resilience.ParseFaults(*faultSpec); err != nil {
+			fatal(err)
+		}
+	}
+	if *replan && len(faults) == 0 {
+		fatal(fmt.Errorf("-replan needs a -fault spec to degrade the board with"))
 	}
 	plan, err := collective.ParsePlan(*planSpec)
 	if err != nil {
@@ -132,6 +168,12 @@ func main() {
 		if *autotune || *session || !plan.IsZero() {
 			fatal(fmt.Errorf("choose -autotune-tiling or -plan/-autotune/-autotune-session, not both"))
 		}
+	}
+	if *replan && (*autotune || *session || *tiling || *fleetMode) {
+		fatal(fmt.Errorf("-replan is its own study: drop -autotune/-autotune-session/-autotune-tiling/-fleet"))
+	}
+	if len(faults) > 0 && (*autotune || *session || *tiling) {
+		fatal(fmt.Errorf("-fault combines with the plain sweep, -replan, or -fleet"))
 	}
 
 	var cfg model.Config
@@ -165,10 +207,18 @@ func main() {
 		if len(chips) != 1 {
 			fatal(fmt.Errorf("-fleet takes a single -chips value (group width), got %v", chips))
 		}
-		fleetSweep(cfg, chips[0], mem, *rates, *requests, *seed, *groups, *maxBatch, *fleetTune, *fleetSlow)
+		var fp *fleet.FaultPlan
+		if len(faults) > 0 {
+			fp = &fleet.FaultPlan{AtSeconds: *faultAt, Group: *faultGroup, Faults: faults, Replan: *faultTune}
+		}
+		fleetSweep(cfg, chips[0], mem, *rates, *requests, *seed, *groups, *maxBatch, *fleetTune, *fleetSlow, fp)
 		return
 	}
 	wl := core.Workload{Model: cfg, Mode: mode, SeqLen: *seqLen}
+	if *replan {
+		replanSweep(topo, network, mem, cfg, *seqLen, *topK, faults, chips)
+		return
+	}
 	if *session {
 		sessionSweep(topo, network, mem, cfg, *seqLen, *topK, chips)
 		return
@@ -179,6 +229,10 @@ func main() {
 	}
 	if *tiling {
 		tilingSweep(topo, network, mem, wl, *topK, chips)
+		return
+	}
+	if len(faults) > 0 {
+		faultSweep(topo, network, mem, plan, wl, faults, chips)
 		return
 	}
 	base1 := core.DefaultSystem(1)
@@ -284,11 +338,76 @@ func tilingSweep(topo hw.Topology, network hw.Network, mem hw.MemHierarchy, wl c
 	}
 }
 
+// faultSweep emits one CSV row per chip count: the exact cost of the
+// workload on the board degraded by the -fault spec. The chips column
+// is the pristine count; degraded_chips what survives the faults.
+func faultSweep(topo hw.Topology, network hw.Network, mem hw.MemHierarchy, plan collective.Plan, wl core.Workload, faults []resilience.Fault, chips []int) {
+	t := report.NewTable("", "chips", "degraded_chips", "cycles", "ms",
+		"compute_cycles", "l2l1_cycles", "l3_cycles", "c2c_cycles",
+		"energy_mj", "edp_js", "tier")
+	for _, n := range chips {
+		sys := core.DefaultSystem(n)
+		sys.HW.Topology = topo
+		sys.HW.Network = network
+		sys.HW.Mem = mem
+		sys.Options.SyncPlan = plan
+		deg, _, err := resilience.Degrade(sys, wl.Model, faults...)
+		if err != nil {
+			fatal(fmt.Errorf("%d chips: %w", n, err))
+		}
+		r, err := evalpool.Run(deg, wl)
+		if err != nil {
+			fatal(fmt.Errorf("%d chips: %w", n, err))
+		}
+		t.AddRow(n, deg.Chips, r.Cycles, r.Seconds*1e3,
+			r.Breakdown.Compute, r.Breakdown.L2L1, r.Breakdown.L3, r.Breakdown.C2C,
+			r.Energy.Total()*1e3, r.EDP, r.Tier.String())
+	}
+	if err := t.CSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// replanSweep emits one CSV row per chip count: the resilience margin
+// of the -fault scenario — the stale pristine-tuned plan priced on the
+// degraded board against re-planning for it. Plan cells use the
+// "+"-joined spelling and paste straight back into -plan.
+func replanSweep(topo hw.Topology, network hw.Network, mem hw.MemHierarchy, cfg model.Config, seqLen, topK int, faults []resilience.Fault, chips []int) {
+	t := report.NewTable("", "chips", "degraded_chips", "faults", "stale_plan", "static_cycles",
+		"adopted_plan", "adopted_cycles", "replan_pays", "margin", "margin_joules", "exact_sims")
+	for _, n := range chips {
+		sys := core.DefaultSystem(n)
+		sys.HW.Topology = topo
+		sys.HW.Network = network
+		sys.HW.Mem = mem
+		study, err := resilience.ReplanStudy(sys, cfg, faults,
+			explore.SessionOptions{TopK: topK, PromptSeqLen: seqLen})
+		if err != nil {
+			fatal(fmt.Errorf("%d chips: %w", n, err))
+		}
+		r := study.Replan
+		static := 0.0
+		if r.Static != nil {
+			static = r.Static.Cycles
+		}
+		t.AddRow(n, study.DegradedChips,
+			strings.ReplaceAll(resilience.FaultsString(study.Faults), ",", "+"),
+			strings.ReplaceAll(study.Pristine.Plan.String(), ",", "+"), static,
+			strings.ReplaceAll(r.AdoptedPlan.String(), ",", "+"), r.AdoptedCycles,
+			r.ReplanPays, r.MarginCycles, r.MarginJoules, r.ExactSims)
+	}
+	if err := t.CSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
 // fleetSweep emits one CSV row per offered arrival rate: the serving
 // metrics of a chip-group fleet under a seeded Poisson trace. The plan
 // column uses the "+"-joined spelling (empty when -fleet-autotune is
-// off) and pastes straight back into -plan.
-func fleetSweep(cfg model.Config, chipsPerGroup int, mem hw.MemHierarchy, rateList string, requests int, seed uint64, groups, maxBatch int, autotune, serial bool) {
+// off) and pastes straight back into -plan. A -fault plan adds its
+// post-fault record in the trailing columns (zero rows when the fault
+// never fired before the trace drained).
+func fleetSweep(cfg model.Config, chipsPerGroup int, mem hw.MemHierarchy, rateList string, requests int, seed uint64, groups, maxBatch int, autotune, serial bool, fp *fleet.FaultPlan) {
 	var rates []float64
 	for _, part := range strings.Split(rateList, ",") {
 		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
@@ -302,7 +421,7 @@ func fleetSweep(cfg model.Config, chipsPerGroup int, mem hw.MemHierarchy, rateLi
 	// same sweep is byte-identical (CI diffs cold vs warm).
 	t := report.NewTable("", "offered_req_s", "achieved_req_s", "p50_s", "p99_s",
 		"p50_ttft_s", "tok_s", "J_per_req", "mean_queue", "max_queue",
-		"mean_batch", "util", "plan")
+		"mean_batch", "util", "plan", "post_fault_chips", "post_fault_plan")
 	sys := core.DefaultSystem(chipsPerGroup)
 	sys.HW.Mem = mem
 	for _, rate := range rates {
@@ -316,6 +435,7 @@ func fleetSweep(cfg model.Config, chipsPerGroup int, mem hw.MemHierarchy, rateLi
 			MaxBatch:   maxBatch,
 			Autotune:   autotune,
 			NoPrePrice: serial,
+			Fault:      fp,
 		})
 		if err != nil {
 			fatal(fmt.Errorf("rate %g: %w", rate, err))
@@ -329,7 +449,8 @@ func fleetSweep(cfg model.Config, chipsPerGroup int, mem hw.MemHierarchy, rateLi
 		t.AddRow(rate, m.RequestsPerSecond, m.P50LatencySeconds, m.P99LatencySeconds,
 			m.P50TTFTSeconds, m.TokensPerSecond, m.EnergyPerRequestJoules,
 			m.MeanQueueDepth, m.MaxQueueDepth, m.MeanBatch, util,
-			strings.ReplaceAll(res.Plan.String(), ",", "+"))
+			strings.ReplaceAll(res.Plan.String(), ",", "+"),
+			res.PostFaultChips, strings.ReplaceAll(res.PostFaultPlan.String(), ",", "+"))
 	}
 	if err := t.CSV(os.Stdout); err != nil {
 		fatal(err)
@@ -444,6 +565,25 @@ func printCacheStats(show bool, store *resultstore.Store) {
 		fmt.Fprint(os.Stderr, " store=off")
 	}
 	fmt.Fprintln(os.Stderr)
+}
+
+// compactCache rewrites the attached store into dir, dropping entries
+// whose digest version the current binary would never read — the
+// garbage a long-lived CI cache accumulates across digest bumps.
+func compactCache(dir string, store *resultstore.Store) error {
+	if dir == "" {
+		return nil
+	}
+	if store == nil {
+		return fmt.Errorf("-cache-compact needs an attached store (-cache-dir or $MCUDIST_CACHE)")
+	}
+	dst, err := store.CompactTo(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cache-compact: entries=%d bytes=%d dir=%s\n",
+		dst.Len(), dst.SizeBytes(), dst.Dir())
+	return dst.Close()
 }
 
 func fatal(err error) {

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestResilienceMargin pins the resilience-margin study: at the
+// 64-chip prefill-ring/decode-tree operating point, every injected
+// fault (dropped chip, 10x-slowed edge, 2x straggler) leaves the
+// re-planned session no worse than serving the stale hybrid on the
+// degraded board, and the margin — the price of not re-planning — is
+// finite and >= 1 on every scenario at both pinned points.
+func TestResilienceMargin(t *testing.T) {
+	rows, err := ResilienceMargin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6 (2 chip counts x 3 fault families)", len(rows))
+	}
+	find := func(chips int, faults string) ResilienceRow {
+		for _, r := range rows {
+			if r.Chips == chips && r.Faults == faults {
+				return r
+			}
+		}
+		t.Fatalf("no row for %d chips under %s", chips, faults)
+		return ResilienceRow{}
+	}
+
+	for _, r := range rows {
+		if r.StaticErr != "" {
+			t.Errorf("%d/%s: stale plan infeasible on an all-pairs degraded board: %s",
+				r.Chips, r.Faults, r.StaticErr)
+			continue
+		}
+		if r.AdoptedCycles > r.StaticCycles {
+			t.Errorf("%d/%s: re-planned session %g cycles worse than static %g",
+				r.Chips, r.Faults, r.AdoptedCycles, r.StaticCycles)
+		}
+		if r.MarginCycles < 1 || math.IsInf(r.MarginCycles, 1) {
+			t.Errorf("%d/%s: margin %g, want finite >= 1", r.Chips, r.Faults, r.MarginCycles)
+		}
+		if r.ReplanPays != (r.AdoptedCycles < r.StaticCycles) {
+			t.Errorf("%d/%s: ReplanPays=%v inconsistent with adopted %g vs static %g",
+				r.Chips, r.Faults, r.ReplanPays, r.AdoptedCycles, r.StaticCycles)
+		}
+		if r.ExactSims <= 0 {
+			t.Errorf("%d/%s: exact-sim bill %d not recorded", r.Chips, r.Faults, r.ExactSims)
+		}
+	}
+
+	// The 64-chip pinned point: the pristine winner is the
+	// prefill-ring/decode-tree hybrid (the SessionAutotune finding),
+	// and it is that plan the fault scenarios serve stale.
+	for _, faults := range []string{"drop:3", "slow:0-1x10", "straggle:3x2"} {
+		r := find(64, faults)
+		if r.StalePlan != "prefill=ring,decode=tree" {
+			t.Errorf("64/%s: stale plan %s, want the prefill=ring,decode=tree hybrid", faults, r.StalePlan)
+		}
+	}
+
+	// Dropping a chip shrinks the board; the other faults do not.
+	if r := find(64, "drop:3"); r.DegradedChips != 63 {
+		t.Errorf("64/drop:3: degraded chips %d, want 63", r.DegradedChips)
+	}
+	if r := find(8, "drop:3"); r.DegradedChips != 7 {
+		t.Errorf("8/drop:3: degraded chips %d, want 7", r.DegradedChips)
+	}
+	if r := find(64, "slow:0-1x10"); r.DegradedChips != 64 {
+		t.Errorf("64/slow: degraded chips %d, want 64", r.DegradedChips)
+	}
+}

@@ -51,6 +51,7 @@ func runSuite(t *testing.T) map[string]any {
 	run("extension-gqa", func() (any, error) { return ExtensionGQAStudy() })
 	run("fleet-saturation", func() (any, error) { return FleetSaturation() })
 	run("fleet-batching", func() (any, error) { return FleetBatchingAblation() })
+	run("resilience-margin", func() (any, error) { return ResilienceMargin() })
 	return out
 }
 

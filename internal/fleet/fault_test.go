@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"mcudist/internal/core"
+	"mcudist/internal/evalpool"
+	"mcudist/internal/model"
+	"mcudist/internal/resilience"
+	"mcudist/internal/resultstore"
+)
+
+// A mid-trace fault must change the degraded group's serving (the
+// faulted run's metrics differ from the pristine run's), stay fully
+// deterministic (two faulted runs are byte-identical), and still
+// drain the whole trace.
+func TestFleetMidTraceFaultDeterministic(t *testing.T) {
+	// Leave the process-wide memo as cold as we found it: later tests
+	// pin their evaluation counts against an empty cache.
+	defer evalpool.ResetCache()
+	opts := smallOptions(300, 30)
+	opts.Groups = 2
+	pristine := mustFleet(t, opts)
+
+	opts.Fault = &FaultPlan{
+		AtSeconds: 3,
+		Group:     1,
+		Faults:    []resilience.Fault{resilience.SlowEdge(0, 1, 10)},
+	}
+	faulted := mustFleet(t, opts)
+	if !faulted.FaultApplied {
+		t.Fatal("fault at 3s never fired on a 300-request trace")
+	}
+	if faulted.PostFaultChips != 8 {
+		t.Fatalf("slow-edge fault changed chips to %d, want 8", faulted.PostFaultChips)
+	}
+	if faulted.Metrics.Completed != 300 {
+		t.Fatalf("faulted fleet completed %d of 300 requests", faulted.Metrics.Completed)
+	}
+	if reflect.DeepEqual(faulted.Metrics, pristine.Metrics) {
+		t.Error("a 10x-slowed edge left the fleet metrics byte-identical")
+	}
+	again := mustFleet(t, opts)
+	if !reflect.DeepEqual(faulted.Metrics, again.Metrics) {
+		t.Error("two faulted runs at the same seed diverged")
+	}
+	if again.PostFaultChips != faulted.PostFaultChips || again.PostFaultPlan != faulted.PostFaultPlan {
+		t.Error("post-fault record diverged across runs")
+	}
+
+	// Dropping a chip shrinks the degraded group and is visible in the
+	// record.
+	opts.Fault = &FaultPlan{AtSeconds: 3, Group: 0, Faults: []resilience.Fault{resilience.DropChip(3)}}
+	dropped := mustFleet(t, opts)
+	if !dropped.FaultApplied || dropped.PostFaultChips != 7 {
+		t.Fatalf("drop fault: applied=%v chips=%d, want true and 7",
+			dropped.FaultApplied, dropped.PostFaultChips)
+	}
+
+	// A fault scheduled after the trace drains is a no-op: metrics stay
+	// byte-identical to the pristine run and the makespan is not
+	// extended to the fault time.
+	opts.Fault = &FaultPlan{AtSeconds: 1e9, Group: 0, Faults: []resilience.Fault{resilience.DropChip(3)}}
+	late := mustFleet(t, opts)
+	if late.FaultApplied {
+		t.Error("a post-drain fault reported as applied")
+	}
+	if !reflect.DeepEqual(late.Metrics, pristine.Metrics) {
+		t.Error("a post-drain fault changed the metrics")
+	}
+}
+
+// A degraded group's steps replay from a warm persistent store with
+// zero exact simulations: the post-fault shapes are a deterministic
+// function of (trace, system, fault plan), so the cold run prices them
+// all into the store — including the re-planning autotune — and the
+// warm run is pure disk hits with byte-identical metrics.
+func TestFleetFaultWarmReplayZeroSims(t *testing.T) {
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalpool.SetStore(store)
+	defer evalpool.SetStore(nil)
+	evalpool.ResetCache()
+	defer evalpool.ResetCache()
+
+	opts := smallOptions(2000, 100)
+	opts.Groups = 2
+	opts.Fault = &FaultPlan{
+		AtSeconds: 5,
+		Group:     0,
+		Faults:    []resilience.Fault{resilience.DropChip(3)},
+		Replan:    true,
+	}
+	cold := mustFleet(t, opts)
+	if !cold.FaultApplied || cold.PostFaultChips != 7 {
+		t.Fatalf("fault record: applied=%v chips=%d, want true and 7",
+			cold.FaultApplied, cold.PostFaultChips)
+	}
+	if cold.PostFaultMargin < 1 {
+		t.Errorf("re-planned margin %g < 1", cold.PostFaultMargin)
+	}
+	if cold.ExactSims == 0 {
+		t.Fatal("cold faulted run on an empty store simulated nothing")
+	}
+
+	evalpool.ResetCache()
+	warm := mustFleet(t, opts)
+	if warm.ExactSims != 0 {
+		t.Errorf("warm faulted run executed %d exact simulations, want 0", warm.ExactSims)
+	}
+	if !reflect.DeepEqual(warm.Metrics, cold.Metrics) {
+		t.Error("warm faulted metrics diverged from cold")
+	}
+	if warm.PostFaultPlan != cold.PostFaultPlan || warm.PostFaultMargin != cold.PostFaultMargin {
+		t.Error("warm re-planning record diverged from cold")
+	}
+}
+
+// Invalid fault plans are rejected up front.
+func TestFleetFaultValidation(t *testing.T) {
+	drop := []resilience.Fault{resilience.DropChip(3)}
+	cases := []*FaultPlan{
+		{AtSeconds: -1, Group: 0, Faults: drop},
+		{AtSeconds: 1, Group: 2, Faults: drop},
+		{AtSeconds: 1, Group: -1, Faults: drop},
+		{AtSeconds: 1, Group: 0},
+	}
+	for _, fp := range cases {
+		opts := smallOptions(10, 1)
+		opts.Groups = 2
+		opts.Fault = fp
+		if _, err := Run(opts); err == nil {
+			t.Errorf("accepted fault plan %+v", fp)
+		}
+	}
+	// A fault that degrades the board below 2 chips fails the run, not
+	// silently: the degraded system is invalid.
+	opts := smallOptions(10, 1)
+	opts.System = core.DefaultSystem(2)
+	opts.Model = model.TinyLlama42M()
+	opts.Fault = &FaultPlan{AtSeconds: 0, Group: 0, Faults: []resilience.Fault{resilience.DropChip(0)}}
+	if _, err := Run(opts); err == nil {
+		t.Error("accepted a fault dropping the board below 2 chips")
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"mcudist/internal/eventsim"
 	"mcudist/internal/explore"
 	"mcudist/internal/model"
+	"mcudist/internal/resilience"
 )
 
 // Request is one inference request: a prompt to prefill and a decode
@@ -164,6 +165,33 @@ type Options struct {
 	// AutotuneTopK is the session autotuner's pruning knob (0 =
 	// explore's default).
 	AutotuneTopK int
+	// Fault, when non-nil, injects a mid-trace hardware fault into one
+	// chip group: at AtSeconds the group's platform is rewritten by
+	// resilience.Degrade and every later step on it is priced on the
+	// degraded system. The other groups keep serving pristine.
+	Fault *FaultPlan
+}
+
+// FaultPlan is a mid-trace fault injection: at AtSeconds on the fleet
+// clock, Group's system degrades by Faults. The step in flight on the
+// group (if any) completes at its already-committed price; every step
+// scheduled after the fault is priced on the degraded system. With
+// Replan set, the fleet re-runs the session autotuner on the degraded
+// system at fault time and the group serves the re-planned collective
+// plan; otherwise it keeps serving the stale pre-fault plan on the
+// degraded wiring (failing the run if that plan became infeasible).
+type FaultPlan struct {
+	// AtSeconds is the fault time on the fleet clock (>= 0).
+	AtSeconds float64
+	// Group is the chip group that degrades.
+	Group int
+	// Faults is the non-empty fault set applied via resilience.Perturb.
+	Faults []resilience.Fault
+	// Replan re-tunes the collective plan for the degraded system.
+	Replan bool
+	// ReplanTopK is the re-planning autotuner's pruning knob (0 =
+	// explore's default).
+	ReplanTopK int
 }
 
 // QueueSample is one point of the queue-depth-over-time series.
@@ -239,6 +267,15 @@ type Result struct {
 	// topology.
 	Plan           collective.Plan
 	AutotuneMargin float64
+	// FaultApplied reports whether the configured FaultPlan fired
+	// before the trace drained (false when the fleet finished first).
+	FaultApplied bool
+	// PostFaultChips is the degraded group's chip count after the
+	// fault; PostFaultPlan/PostFaultMargin record the re-planned
+	// collective plan and its margin when FaultPlan.Replan is set.
+	PostFaultChips  int
+	PostFaultPlan   collective.Plan
+	PostFaultMargin float64
 }
 
 // session is one admitted request's decoding state.
@@ -292,10 +329,22 @@ type fleet struct {
 	// last* is a one-entry fast path over prices: consecutive steps
 	// overwhelmingly repeat the previous step's shape (a decode batch
 	// keeps its width and bucket for many tokens), so the hot loop
-	// usually skips the map hash entirely.
+	// usually skips the map hash entirely. lastDeg keys the entry to
+	// the memo it came from (pristine vs degraded).
 	lastKey   shapeKey
 	lastCost  stepCost
 	lastValid bool
+	lastDeg   bool
+	// Fault state: degGroup is -1 until the FaultPlan fires, then the
+	// id of the degraded group, which prices its steps on degSys
+	// through its own memo (degraded shapes can never share a price
+	// with pristine ones — the systems differ).
+	degGroup        int
+	degSys          core.System
+	degPrices       map[shapeKey]stepCost
+	postFaultChips  int
+	postFaultPlan   collective.Plan
+	postFaultMargin float64
 	// Arrival feed: reqs is sorted by arrival time and fed into the
 	// event queue one request at a time by the reusable arriveNext
 	// callback. Scheduling arrivals lazily keeps the event heap a few
@@ -350,6 +399,17 @@ func Run(opts Options) (*Result, error) {
 	if opts.ContextBucket < 0 {
 		return nil, fmt.Errorf("fleet: context bucket %d must be non-negative", opts.ContextBucket)
 	}
+	if fp := opts.Fault; fp != nil {
+		if fp.AtSeconds < 0 || math.IsNaN(fp.AtSeconds) || math.IsInf(fp.AtSeconds, 0) {
+			return nil, fmt.Errorf("fleet: bad fault time %v", fp.AtSeconds)
+		}
+		if fp.Group < 0 || fp.Group >= groups {
+			return nil, fmt.Errorf("fleet: fault group %d out of range [0,%d)", fp.Group, groups)
+		}
+		if len(fp.Faults) == 0 {
+			return nil, fmt.Errorf("fleet: fault plan without faults")
+		}
+	}
 	for i, r := range opts.Trace.Requests {
 		if r.PromptLen <= 0 {
 			return nil, fmt.Errorf("fleet: request %d: prompt length %d must be positive", i, r.PromptLen)
@@ -379,11 +439,15 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	f := &fleet{
-		opts:   opts,
-		sys:    sys,
-		eng:    eventsim.NewEngine(),
-		prices: make(map[shapeKey]stepCost),
-		stride: 1,
+		opts:     opts,
+		sys:      sys,
+		eng:      eventsim.NewEngine(),
+		prices:   make(map[shapeKey]stepCost),
+		stride:   1,
+		degGroup: -1,
+	}
+	if opts.Fault != nil {
+		f.eng.At(opts.Fault.AtSeconds, f.applyFault)
 	}
 	for i := 0; i < groups; i++ {
 		g := &group{id: i}
@@ -427,11 +491,22 @@ func Run(opts Options) (*Result, error) {
 	if f.err != nil {
 		return nil, f.err
 	}
+	if opts.Fault != nil && end > f.lastDepthAt {
+		// The fault event outlived the trace: the makespan is the last
+		// arrival or completion, not the fault time.
+		end = f.lastDepthAt
+	}
 
 	res.Metrics = f.metrics(end)
-	res.DistinctShapes = len(f.prices)
+	res.DistinctShapes = len(f.prices) + len(f.degPrices)
 	res.ExactSims = evalpool.Simulations() - simsBefore
 	res.Evaluations = evalpool.Evaluations() - evalsBefore
+	if f.degGroup >= 0 {
+		res.FaultApplied = true
+		res.PostFaultChips = f.postFaultChips
+		res.PostFaultPlan = f.postFaultPlan
+		res.PostFaultMargin = f.postFaultMargin
+	}
 	return res, nil
 }
 
@@ -473,26 +548,70 @@ func (f *fleet) bucket(n int) int {
 	return (n/b + 1) * b
 }
 
-// price returns the cost of one step shape through the oracle tiers,
-// memoized fleet-locally so the scheduler's hot loop costs one map
-// probe per step.
-func (f *fleet) price(mode model.Mode, seqLen, batch int) (stepCost, error) {
+// price returns the cost of one step shape on group g through the
+// oracle tiers, memoized fleet-locally so the scheduler's hot loop
+// costs one map probe per step. A group degraded by the FaultPlan
+// prices against the degraded system through its own memo.
+func (f *fleet) price(g *group, mode model.Mode, seqLen, batch int) (stepCost, error) {
+	deg := g.id == f.degGroup
 	key := shapeKey{mode: mode, seqLen: seqLen, batch: batch}
-	if f.lastValid && key == f.lastKey {
+	if f.lastValid && key == f.lastKey && deg == f.lastDeg {
 		return f.lastCost, nil
 	}
-	if c, ok := f.prices[key]; ok {
-		f.lastKey, f.lastCost, f.lastValid = key, c, true
+	prices, sys := f.prices, f.sys
+	if deg {
+		prices, sys = f.degPrices, f.degSys
+	}
+	if c, ok := prices[key]; ok {
+		f.lastKey, f.lastCost, f.lastValid, f.lastDeg = key, c, true, deg
 		return c, nil
 	}
-	rep, err := evalpool.Run(f.sys, core.Workload{Model: f.opts.Model, Mode: mode, SeqLen: seqLen, Batch: batch})
+	rep, err := evalpool.Run(sys, core.Workload{Model: f.opts.Model, Mode: mode, SeqLen: seqLen, Batch: batch})
 	if err != nil {
 		return stepCost{}, fmt.Errorf("fleet: price %s seq=%d batch=%d: %w", mode, seqLen, batch, err)
 	}
 	c := stepCost{seconds: rep.Seconds, joules: rep.Energy.Total()}
-	f.prices[key] = c
-	f.lastKey, f.lastCost, f.lastValid = key, c, true
+	prices[key] = c
+	f.lastKey, f.lastCost, f.lastValid, f.lastDeg = key, c, true, deg
 	return c, nil
+}
+
+// applyFault is the FaultPlan event: it degrades the target group's
+// system via resilience.Degrade (optionally re-tuning the collective
+// plan on the degraded wiring) and routes the group's later steps to
+// the degraded price memo. The step in flight keeps its committed
+// finish time and price.
+func (f *fleet) applyFault() {
+	if f.err != nil {
+		return
+	}
+	// After the trace drains there is nothing left to serve degraded:
+	// the fault is a no-op and the run reports FaultApplied=false.
+	if f.nextReq >= len(f.reqs) && f.depth == 0 {
+		return
+	}
+	fp := f.opts.Fault
+	deg, _, err := resilience.Degrade(f.sys, f.opts.Model, fp.Faults...)
+	if err != nil {
+		f.err = fmt.Errorf("fleet: fault at %gs: %w", fp.AtSeconds, err)
+		return
+	}
+	if fp.Replan {
+		tuned, err := explore.AutotuneSession(deg, f.opts.Model,
+			explore.SessionOptions{TopK: fp.ReplanTopK})
+		if err != nil {
+			f.err = fmt.Errorf("fleet: fault at %gs: replan: %w", fp.AtSeconds, err)
+			return
+		}
+		deg.Options.SyncPlan = tuned.Plan
+		f.postFaultPlan = tuned.Plan
+		f.postFaultMargin = tuned.Margin
+	}
+	f.degGroup = fp.Group
+	f.degSys = deg
+	f.degPrices = make(map[shapeKey]stepCost)
+	f.postFaultChips = deg.Chips
+	f.lastValid = false
 }
 
 // speculativeShapes enumerates every step shape the trace can touch:
@@ -607,7 +726,7 @@ func (f *fleet) start(g *group, now float64) {
 		s := g.promptQ[0]
 		g.promptQ[0] = nil
 		g.promptQ = g.promptQ[1:]
-		cost, err := f.price(model.Prompt, s.req.PromptLen, 1)
+		cost, err := f.price(g, model.Prompt, s.req.PromptLen, 1)
 		if err != nil {
 			f.err = err
 			return
@@ -633,7 +752,7 @@ func (f *fleet) start(g *group, now float64) {
 				maxCtx = s.ctx
 			}
 		}
-		cost, err := f.price(model.Autoregressive, f.bucket(maxCtx), width)
+		cost, err := f.price(g, model.Autoregressive, f.bucket(maxCtx), width)
 		if err != nil {
 			f.err = err
 			return

@@ -1,0 +1,115 @@
+package hw
+
+import "fmt"
+
+// This file generates explicit per-edge wirings on top of the
+// TableNetwork machinery: a materializer that expands any network
+// profile into its edge table (the form the resilience tier perturbs),
+// and two classic sparse fabrics — the 2D torus and the dragonfly —
+// that exercise multi-hop stage routing because most chip pairs have
+// no direct edge.
+
+// NetworkEdges materializes the network's wiring over chips 0..n-1 as
+// an explicit per-edge table: every directed edge the network defines
+// between those chips, with its resolved class. For the uniform and
+// clustered profiles that is the complete bipartite set (every ordered
+// pair is wired); for a table profile it is the registered edges
+// restricted to chips below n. The result is a fresh map the caller
+// may mutate — the fault-injection layer rewrites it and re-registers
+// the perturbed table.
+func NetworkEdges(net Network, n int) (map[Edge]LinkClass, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("hw: cannot materialize a network over %d chips (need at least 2)", n)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	edges := make(map[Edge]LinkClass)
+	if net.Profile == NetTable {
+		table := lookupTable(net.TableDigest)
+		for e, c := range table {
+			if e.From < n && e.To < n {
+				edges[e] = c
+			}
+		}
+		if len(edges) == 0 {
+			return nil, fmt.Errorf("hw: per-edge table %s defines no edges below chip %d", net, n)
+		}
+		return edges, nil
+	}
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from == to {
+				continue
+			}
+			c, err := net.LinkFor(from, to)
+			if err != nil {
+				return nil, err
+			}
+			edges[Edge{From: from, To: to}] = c
+		}
+	}
+	return edges, nil
+}
+
+// TorusNetwork wires dimX x dimY chips as a 2D torus: chip (x, y) is
+// chip y*dimX+x, with bidirectional links to its +-x and +-y
+// neighbours, wrapping at the edges. Dimensions of 1 contribute no
+// edges on their axis (a 1 x N torus is a ring) and a dimension of 2
+// collapses the wraparound onto the direct neighbour link. Non-
+// neighbour pairs are unwired, so collective schedules that hop
+// arbitrary pairs are rejected and pipeline handoffs route multi-hop.
+func TorusNetwork(dimX, dimY int, c LinkClass) (Network, error) {
+	if dimX < 1 || dimY < 1 || dimX*dimY < 2 {
+		return Network{}, fmt.Errorf("hw: torus dimensions %dx%d need at least 2 chips", dimX, dimY)
+	}
+	edges := make(map[Edge]LinkClass)
+	wire := func(a, b int) {
+		if a == b {
+			return
+		}
+		edges[Edge{From: a, To: b}] = c
+		edges[Edge{From: b, To: a}] = c
+	}
+	for y := 0; y < dimY; y++ {
+		for x := 0; x < dimX; x++ {
+			chip := y*dimX + x
+			wire(chip, y*dimX+(x+1)%dimX)
+			wire(chip, ((y+1)%dimY)*dimX+x)
+		}
+	}
+	return TableNetwork(edges)
+}
+
+// DragonflyNetwork wires groups x perGroup chips as a dragonfly: each
+// group of perGroup consecutive chips is fully connected with the
+// local class, and every group pair is joined by one bidirectional
+// global link with the global class. The global link between groups a
+// and b attaches to deterministic port chips — a's chip a*perGroup +
+// b%perGroup and b's chip b*perGroup + a%perGroup — so global traffic
+// spreads across a group's members instead of converging on chip 0.
+func DragonflyNetwork(groups, perGroup int, local, global LinkClass) (Network, error) {
+	if groups < 1 || perGroup < 1 || groups*perGroup < 2 {
+		return Network{}, fmt.Errorf("hw: dragonfly %d groups x %d chips needs at least 2 chips", groups, perGroup)
+	}
+	edges := make(map[Edge]LinkClass)
+	for g := 0; g < groups; g++ {
+		base := g * perGroup
+		for i := 0; i < perGroup; i++ {
+			for j := 0; j < perGroup; j++ {
+				if i != j {
+					edges[Edge{From: base + i, To: base + j}] = local
+				}
+			}
+		}
+	}
+	for a := 0; a < groups; a++ {
+		for b := a + 1; b < groups; b++ {
+			pa := a*perGroup + b%perGroup
+			pb := b*perGroup + a%perGroup
+			edges[Edge{From: pa, To: pb}] = global
+			edges[Edge{From: pb, To: pa}] = global
+		}
+	}
+	return TableNetwork(edges)
+}

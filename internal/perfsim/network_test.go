@@ -158,6 +158,51 @@ func TestPipelineChainUsesNetworkClasses(t *testing.T) {
 	}
 }
 
+// A pipeline whose direct stage edge is missing re-routes the handoff
+// through surviving chips instead of rejecting the run: the routed
+// deployment completes, pays for the extra hops, and matches the
+// directly wired chain everywhere the direct edges exist.
+func TestPipelineRoutesAroundMissingStageEdge(t *testing.T) {
+	mipi := hw.MIPI()
+	full := map[hw.Edge]hw.LinkClass{}
+	for c := 0; c < 3; c++ {
+		full[hw.Edge{From: c, To: c + 1}] = mipi
+	}
+	wired, err := hw.TableNetwork(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwp := hw.Siracusa()
+	hwp.Network = wired
+	direct, _ := runNet(t, hwp, 4, partition.Pipeline, model.Prompt)
+
+	// Sever the direct 1->2 edge and offer a detour through chip 3
+	// (1->3->2): the handoff must route around the gap.
+	gap := map[hw.Edge]hw.LinkClass{
+		{From: 0, To: 1}: mipi,
+		{From: 1, To: 3}: mipi,
+		{From: 3, To: 2}: mipi,
+		{From: 2, To: 3}: mipi,
+	}
+	gapped, err := hw.TableNetwork(gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwp.Network = gapped
+	routed, _ := runNet(t, hwp, 4, partition.Pipeline, model.Prompt)
+	if routed.TotalCycles <= direct.TotalCycles {
+		t.Errorf("re-routed pipeline %g cycles, want more than the directly wired chain's %g",
+			routed.TotalCycles, direct.TotalCycles)
+	}
+	// The detour bills its traffic on the intermediate chip: chip 3
+	// forwards the 1->2 handoff and the 2->3 handoff's payload arrives
+	// there anyway, so chip 1's sends double (1->3 then relayed).
+	if routed.TotalC2CBytes <= direct.TotalC2CBytes {
+		t.Errorf("re-routed pipeline moved %d bytes, want more than the direct chain's %d",
+			routed.TotalC2CBytes, direct.TotalC2CBytes)
+	}
+}
+
 // partialRun attempts a tensor-parallel run under hwp, returning the
 // simulation error (deployment building must succeed).
 func partialRun(t *testing.T, hwp hw.Params) (*Result, error) {

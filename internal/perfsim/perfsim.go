@@ -199,10 +199,15 @@ type Sim struct {
 	// hops' classes and the pipeline chain is resolved up front.
 	classes []hw.LinkClass
 	classID map[hw.LinkClass]int
-	// pipeIDs[c] is the interned class id of the pipeline handoff edge
-	// c -> c+1 (pipeline strategy only).
-	pipeIDs []int32
-	stats   []ChipStats
+	// pipeHops is the routed pipeline handoff chain (pipeline strategy
+	// only), flattened in chain order with interned class ids; the
+	// stage boundary c -> c+1 spans pipeHops[pipeOff[c]:pipeOff[c+1]].
+	// On a fully wired network every boundary is the single direct hop
+	// the simulator always took; on sparse or degraded wirings a
+	// boundary routes multi-hop through surviving chips.
+	pipeHops []pipeHop
+	pipeOff  []int32
+	stats    []ChipStats
 	// chipClassCycles/chipClassBytes back the per-chip per-class
 	// counters (n × len(classes), carved into stats[i]); accByLink
 	// backs the per-class byLink accumulators the same way.
@@ -262,6 +267,13 @@ type loweredSched struct {
 	sc     *interconnect.Schedule
 	reduce []int32 // class id per sc.Reduce hop
 	bcast  []int32 // class id per sc.Broadcast hop
+}
+
+// pipeHop is one lowered hop of the routed pipeline handoff chain: a
+// directed edge with its interned accounting-class id.
+type pipeHop struct {
+	from, to int32
+	class    int32
 }
 
 // NewSim returns an empty arena. The zero Sim is ready to use; every
@@ -450,20 +462,29 @@ func (s *Sim) RunTraced(d *deploy.Deployment, tl *trace.Timeline) (*Result, erro
 	}
 	if d.Plan.Strategy == partition.Pipeline {
 		// The pipeline handoff chain is not part of the collective
-		// schedule; resolve its edges against the network up front so
-		// an unwired chain edge fails before simulation, like any
-		// schedule hop over an undefined edge. Interning in chain order
-		// matches the order the serial handoffs execute in.
-		if cap(s.pipeIDs) < n {
-			s.pipeIDs = make([]int32, n)
+		// schedule; it is routed and class-resolved against the network
+		// up front (through the interconnect intern cache, once per
+		// (network, chips) pair), so a severed chain fails before
+		// simulation, like any schedule hop over an undefined edge. A
+		// stage boundary whose direct edge is unwired — a sparse fabric
+		// or a degraded board — executes its routed multi-hop segment;
+		// on fully wired networks every segment is the single direct
+		// hop, byte-identical to the legacy chain.
+		chain, err := interconnect.CachedPipelineChain(d.HW.Network, n)
+		if err != nil {
+			return nil, fmt.Errorf("perfsim: %w", err)
 		}
-		s.pipeIDs = s.pipeIDs[:n]
+		s.pipeHops = s.pipeHops[:0]
+		s.pipeOff = append(s.pipeOff[:0], 0)
 		for c := 0; c+1 < n; c++ {
-			cls, err := d.HW.LinkFor(c, c+1)
-			if err != nil {
-				return nil, fmt.Errorf("perfsim: pipeline handoff %d->%d: %w", c, c+1, err)
+			for _, h := range chain.Segment(c) {
+				s.pipeHops = append(s.pipeHops, pipeHop{
+					from:  int32(h.From),
+					to:    int32(h.To),
+					class: int32(s.classIndex(h.Class)),
+				})
 			}
-			s.pipeIDs[c] = int32(s.classIndex(cls))
+			s.pipeOff = append(s.pipeOff, int32(len(s.pipeHops)))
 		}
 	}
 
@@ -1152,7 +1173,12 @@ func (s *Sim) runPipeline() float64 {
 			t = s.phase(c, t, cd.MHSA, cd.MHSAStream, cd.ExposedMHSABytes, spill)
 		}
 		if c+1 < n {
-			t = s.hopOn(s.link(c, c+1), c, c+1, t, actPayload, s.pipeIDs[c])
+			// The handoff executes its routed segment serially: one
+			// direct hop on fully wired networks, multi-hop through
+			// surviving chips when the direct edge is missing.
+			for _, h := range s.pipeHops[s.pipeOff[c]:s.pipeOff[c+1]] {
+				t = s.hopOn(s.link(int(h.from), int(h.to)), int(h.from), int(h.to), t, actPayload, h.class)
+			}
 		}
 	}
 	return t

@@ -1,0 +1,280 @@
+// Package resilience is the robustness tier: it imports measured
+// board wirings (netlists) into the per-edge network model, injects
+// deterministic faults — a dropped chip, a slowed edge, a compute
+// straggler — by rewriting the network table and hardware options, and
+// measures the re-planning margin: how much latency/energy a fleet
+// serving a stale pre-tuned plan loses on the degraded board before
+// re-running the autotuner pays.
+//
+// Everything in the package is a pure rewrite of value-typed
+// configuration: a perturbed system carries a different interned
+// network table (a different content digest) and different planner
+// options, so the evalpool/resultstore cache tiers can never confuse
+// degraded results with pristine ones — the digests differ by
+// construction.
+package resilience
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mcudist/internal/hw"
+)
+
+// Netlist is a measured per-edge board wiring: a chip count, named
+// link classes (bandwidth/setup/energy triples), and the directed
+// edges wired between chips. It is the file-format view of
+// hw.TableNetwork: Parse and Format round-trip it, Network registers
+// it with the interned table machinery.
+type Netlist struct {
+	// Chips is the number of chips the wiring spans (chip ids are
+	// 0..Chips-1).
+	Chips int
+	// Classes names the link classes edges refer to.
+	Classes map[string]hw.LinkClass
+	// Edges assigns each wired directed edge its class name.
+	Edges map[hw.Edge]string
+}
+
+// ParseNetlist reads the netlist file format:
+//
+//	# comments and blank lines are ignored
+//	chips 8
+//	class mipi 0.5e9 256 100      # name, bandwidth B/s, setup cycles, pJ/B
+//	link 0 1 mipi bidi            # from, to, class; bidi wires both directions
+//	link 2 0 mipi                 # directed edge
+//
+// Every malformed input — a missing or duplicate chips line, an
+// unknown directive, an undeclared or redeclared class, a chip index
+// out of range, a self-edge, a duplicate edge, a non-positive
+// bandwidth — is rejected with the offending line number.
+func ParseNetlist(r io.Reader) (*Netlist, error) {
+	nl := &Netlist{
+		Classes: map[string]hw.LinkClass{},
+		Edges:   map[hw.Edge]string{},
+	}
+	sawChips := false
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "chips":
+			if sawChips {
+				return nil, fmt.Errorf("netlist line %d: duplicate chips directive", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("netlist line %d: want `chips <n>`", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 2 {
+				return nil, fmt.Errorf("netlist line %d: chip count %q must be an integer >= 2", line, fields[1])
+			}
+			nl.Chips = n
+			sawChips = true
+		case "class":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("netlist line %d: want `class <name> <bandwidth B/s> <setup cycles> <pJ/B>`", line)
+			}
+			name := fields[1]
+			if _, dup := nl.Classes[name]; dup {
+				return nil, fmt.Errorf("netlist line %d: class %q already declared", line, name)
+			}
+			bw, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("netlist line %d: bad bandwidth %q", line, fields[2])
+			}
+			setup, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("netlist line %d: bad setup cycles %q", line, fields[3])
+			}
+			pj, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("netlist line %d: bad energy %q", line, fields[4])
+			}
+			c := hw.LinkClass{BandwidthBytesPerSec: bw, SetupCycles: setup, EnergyPJPerByte: pj}
+			if err := c.Validate(); err != nil {
+				return nil, fmt.Errorf("netlist line %d: class %q: %w", line, name, err)
+			}
+			nl.Classes[name] = c
+		case "link":
+			if !sawChips {
+				return nil, fmt.Errorf("netlist line %d: link before the chips directive", line)
+			}
+			if len(fields) != 4 && !(len(fields) == 5 && fields[4] == "bidi") {
+				return nil, fmt.Errorf("netlist line %d: want `link <from> <to> <class> [bidi]`", line)
+			}
+			from, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("netlist line %d: bad chip id %q", line, fields[1])
+			}
+			to, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("netlist line %d: bad chip id %q", line, fields[2])
+			}
+			if from < 0 || from >= nl.Chips || to < 0 || to >= nl.Chips {
+				return nil, fmt.Errorf("netlist line %d: link %d->%d out of range for %d chips", line, from, to, nl.Chips)
+			}
+			if from == to {
+				return nil, fmt.Errorf("netlist line %d: self-edge %d->%d", line, from, to)
+			}
+			name := fields[3]
+			if _, ok := nl.Classes[name]; !ok {
+				return nil, fmt.Errorf("netlist line %d: class %q not declared", line, name)
+			}
+			dirs := []hw.Edge{{From: from, To: to}}
+			if len(fields) == 5 {
+				dirs = append(dirs, hw.Edge{From: to, To: from})
+			}
+			for _, e := range dirs {
+				if _, dup := nl.Edges[e]; dup {
+					return nil, fmt.Errorf("netlist line %d: edge %d->%d already wired", line, e.From, e.To)
+				}
+				nl.Edges[e] = name
+			}
+		default:
+			return nil, fmt.Errorf("netlist line %d: unknown directive %q (want chips | class | link)", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	if !sawChips {
+		return nil, fmt.Errorf("netlist: missing chips directive")
+	}
+	if len(nl.Edges) == 0 {
+		return nil, fmt.Errorf("netlist: no links wired")
+	}
+	return nl, nil
+}
+
+// LoadNetlist parses a netlist file from disk.
+func LoadNetlist(path string) (*Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	defer f.Close()
+	nl, err := ParseNetlist(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return nl, nil
+}
+
+// EdgeTable resolves the netlist into the explicit per-edge class
+// table — the map TableNetwork registers and Perturb rewrites.
+func (nl *Netlist) EdgeTable() map[hw.Edge]hw.LinkClass {
+	edges := make(map[hw.Edge]hw.LinkClass, len(nl.Edges))
+	for e, name := range nl.Edges {
+		edges[e] = nl.Classes[name]
+	}
+	return edges
+}
+
+// Network registers the wiring as an interned per-edge table network.
+// Equal netlists (same resolved edges, whatever the class names)
+// produce equal Network values — the content digest ignores naming.
+func (nl *Netlist) Network() (hw.Network, error) {
+	return hw.TableNetwork(nl.EdgeTable())
+}
+
+// NetlistFromNetwork materializes any network over n chips into a
+// netlist, naming the distinct classes c0, c1, ... in descending
+// bandwidth order. This is how a profile network (or a perturbed
+// table) is exported to the file format.
+func NetlistFromNetwork(net hw.Network, n int) (*Netlist, error) {
+	edges, err := hw.NetworkEdges(net, n)
+	if err != nil {
+		return nil, err
+	}
+	var classes []hw.LinkClass
+	seen := map[hw.LinkClass]bool{}
+	for _, c := range edges {
+		if !seen[c] {
+			seen[c] = true
+			classes = append(classes, c)
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		a, b := classes[i], classes[j]
+		if a.BandwidthBytesPerSec != b.BandwidthBytesPerSec {
+			return a.BandwidthBytesPerSec > b.BandwidthBytesPerSec
+		}
+		if a.SetupCycles != b.SetupCycles {
+			return a.SetupCycles < b.SetupCycles
+		}
+		return a.EnergyPJPerByte < b.EnergyPJPerByte
+	})
+	nl := &Netlist{
+		Chips:   n,
+		Classes: make(map[string]hw.LinkClass, len(classes)),
+		Edges:   make(map[hw.Edge]string, len(edges)),
+	}
+	names := map[hw.LinkClass]string{}
+	for i, c := range classes {
+		name := fmt.Sprintf("c%d", i)
+		nl.Classes[name] = c
+		names[c] = name
+	}
+	for e, c := range edges {
+		nl.Edges[e] = names[c]
+	}
+	return nl, nil
+}
+
+// Format renders the netlist in the canonical file spelling: classes
+// in name order, edges sorted by (from, to) with symmetric same-class
+// pairs collapsed to one bidi line. Parse(Format(nl)) resolves to the
+// same edge table.
+func (nl *Netlist) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chips %d\n", nl.Chips)
+	names := make([]string, 0, len(nl.Classes))
+	for name := range nl.Classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := nl.Classes[name]
+		fmt.Fprintf(&b, "class %s %g %d %g\n", name, c.BandwidthBytesPerSec, c.SetupCycles, c.EnergyPJPerByte)
+	}
+	edges := make([]hw.Edge, 0, len(nl.Edges))
+	for e := range nl.Edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	emitted := make(map[hw.Edge]bool, len(edges))
+	for _, e := range edges {
+		if emitted[e] {
+			continue
+		}
+		name := nl.Edges[e]
+		rev := hw.Edge{From: e.To, To: e.From}
+		if revName, wired := nl.Edges[rev]; wired && revName == name && e.From < e.To {
+			fmt.Fprintf(&b, "link %d %d %s bidi\n", e.From, e.To, name)
+			emitted[rev] = true
+			continue
+		}
+		fmt.Fprintf(&b, "link %d %d %s\n", e.From, e.To, name)
+	}
+	return b.String()
+}

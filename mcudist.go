@@ -19,6 +19,8 @@
 package mcudist
 
 import (
+	"io"
+
 	"mcudist/internal/collective"
 	"mcudist/internal/core"
 	"mcudist/internal/deploy"
@@ -31,6 +33,7 @@ import (
 	"mcudist/internal/numeric"
 	"mcudist/internal/partition"
 	"mcudist/internal/perfsim"
+	"mcudist/internal/resilience"
 	"mcudist/internal/resultstore"
 	"mcudist/internal/tensor"
 )
@@ -165,6 +168,44 @@ type (
 	// FleetResult pairs the metrics with oracle accounting (distinct
 	// step shapes, exact simulations) and the adopted collective plan.
 	FleetResult = fleet.Result
+	// FleetFaultPlan injects a mid-trace hardware fault into one chip
+	// group (FleetOptions.Fault): at AtSeconds the group's system is
+	// degraded by Faults and optionally re-planned.
+	FleetFaultPlan = fleet.FaultPlan
+)
+
+// Resilience API: measured netlist import, deterministic fault
+// injection, and the re-planning margin study (see Perturb, Degrade,
+// ReplanStudy).
+type (
+	// Netlist is a measured per-edge board wiring: a chip count, named
+	// link classes, and the directed edges they wire (see ParseNetlist,
+	// LoadNetlist; Netlist.Network registers it as a table Network).
+	Netlist = resilience.Netlist
+	// Fault is one deterministic hardware fault: a dropped chip, a
+	// slowed edge, or a compute straggler (see DropChip, SlowEdge,
+	// StraggleChip, ParseFaults).
+	Fault = resilience.Fault
+	// FaultKind discriminates the fault families.
+	FaultKind = resilience.FaultKind
+	// ResilienceStudy is one resilience-margin measurement: the
+	// pristine autotune, the fault set, and the stale-vs-replanned
+	// comparison on the degraded board.
+	ResilienceStudy = resilience.Study
+	// SessionPlanCost is one exactly-evaluated session of a fixed
+	// joint plan, as deployed (see EvalSessionPlan).
+	SessionPlanCost = explore.SessionCost
+	// ReplanResult compares serving a stale plan on a degraded system
+	// against re-planning for it (see ReplanSession); MarginCycles is
+	// the resilience margin.
+	ReplanResult = explore.ReplanResult
+)
+
+// Fault kinds.
+const (
+	FaultDropChip = resilience.FaultDropChip
+	FaultSlowEdge = resilience.FaultSlowEdge
+	FaultStraggle = resilience.FaultStraggle
 )
 
 // Model description API.
@@ -574,3 +615,95 @@ func RunFleet(opts FleetOptions) (*FleetResult, error) { return fleet.Run(opts) 
 // mixed prompt lengths and decode budgets; equal options yield
 // byte-identical traces.
 func FleetPoissonTrace(opts FleetTraceOptions) FleetTrace { return fleet.PoissonTrace(opts) }
+
+// TorusNetwork wires a dimX x dimY 2D torus: each chip links to its
+// four row/column neighbours with wraparound, all edges one class.
+func TorusNetwork(dimX, dimY int, c LinkClass) (Network, error) {
+	return hw.TorusNetwork(dimX, dimY, c)
+}
+
+// DragonflyNetwork wires groups all-to-all internally with local links
+// and connects each group pair by one global link between
+// representative chips.
+func DragonflyNetwork(groups, perGroup int, local, global LinkClass) (Network, error) {
+	return hw.DragonflyNetwork(groups, perGroup, local, global)
+}
+
+// NetworkEdges materialises any Network into its explicit per-edge
+// link table over n chips — the bridge from generated or profiled
+// topologies to netlists and fault perturbation.
+func NetworkEdges(net Network, n int) (map[Edge]LinkClass, error) {
+	return hw.NetworkEdges(net, n)
+}
+
+// ParseNetlist reads the plain-text netlist format — `chips N`, named
+// `class` lines, and `link from to class [bidi]` edges — into a
+// Netlist.
+func ParseNetlist(r io.Reader) (*Netlist, error) { return resilience.ParseNetlist(r) }
+
+// LoadNetlist reads a netlist file from disk.
+func LoadNetlist(path string) (*Netlist, error) { return resilience.LoadNetlist(path) }
+
+// NetlistFromNetwork snapshots any Network over n chips into an
+// explicit Netlist, inferring class names from link parameters.
+func NetlistFromNetwork(net Network, n int) (*Netlist, error) {
+	return resilience.NetlistFromNetwork(net, n)
+}
+
+// DropChip marks chip i failed: Perturb removes it and renumbers the
+// survivors, re-routing pipeline chains through surviving paths.
+func DropChip(i int) Fault { return resilience.DropChip(i) }
+
+// SlowEdge degrades the from->to link by factor (>= 1): bandwidth
+// divided, setup multiplied.
+func SlowEdge(from, to int, factor float64) Fault { return resilience.SlowEdge(from, to, factor) }
+
+// StraggleChip slows chip i's compute by factor (>= 1).
+func StraggleChip(i int, factor float64) Fault { return resilience.StraggleChip(i, factor) }
+
+// ParseFaults parses the CLI fault spelling — comma-separated
+// `drop:3`, `slow:0-1x10`, `straggle:2x2` terms — into a fault list.
+func ParseFaults(spec string) ([]Fault, error) { return resilience.ParseFaults(spec) }
+
+// FaultsString renders a fault list back to its canonical CLI
+// spelling; ParseFaults round-trips it.
+func FaultsString(faults []Fault) string { return resilience.FaultsString(faults) }
+
+// Perturb applies deterministic faults to a system, rewriting its
+// per-edge link table (and compute throughput for stragglers) and
+// returning the degraded system plus the old->new chip renumbering.
+// The degraded network always gets a fresh table digest, so perturbed
+// results never collide with pristine ones in the result store.
+func Perturb(sys System, faults ...Fault) (System, []int, error) {
+	return resilience.Perturb(sys, faults...)
+}
+
+// Degrade is Perturb followed by shrinking the deployment to the
+// largest legal chip count the surviving board supports — the system
+// actually served after a mid-trace fault.
+func Degrade(sys System, cfg Config, faults ...Fault) (System, []int, error) {
+	return resilience.Degrade(sys, cfg, faults...)
+}
+
+// EvalSessionPlan exactly evaluates one fixed joint collective plan as
+// a deployed session (prefill plus the decode stream) on the given
+// system.
+func EvalSessionPlan(sys System, cfg Config, plan SyncPlan, opts SessionOptions) (*SessionPlanCost, error) {
+	return explore.EvalSessionPlan(sys, cfg, plan, opts)
+}
+
+// ReplanSession compares serving a stale plan on a degraded system
+// against re-planning for it, adopting whichever is faster;
+// MarginCycles (>= 1, +Inf when the stale plan no longer routes) is
+// the resilience margin — the factor the session pays for not
+// re-planning.
+func ReplanSession(degraded System, cfg Config, stale SyncPlan, opts SessionOptions) (*ReplanResult, error) {
+	return explore.ReplanSession(degraded, cfg, stale, opts)
+}
+
+// ReplanStudy runs the full resilience measurement: autotune the
+// pristine system, inject the faults, and compare stale-vs-replanned
+// service on the degraded board.
+func ReplanStudy(sys System, cfg Config, faults []Fault, opts SessionOptions) (*ResilienceStudy, error) {
+	return resilience.ReplanStudy(sys, cfg, faults, opts)
+}

@@ -1,6 +1,7 @@
 package mcudist
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -178,5 +179,54 @@ func TestFacadeSyncPlan(t *testing.T) {
 	}
 	if res.Margin < 1 || len(res.PerClass) != 2 {
 		t.Fatalf("autotune margin %g, %d classes", res.Margin, len(res.PerClass))
+	}
+}
+
+func TestFacadeResilience(t *testing.T) {
+	faults, err := ParseFaults("drop:3,slow:0-1x10,straggle:2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 3 || faults[0].Kind != FaultDropChip {
+		t.Fatalf("parsed faults = %v", faults)
+	}
+	if got := FaultsString(faults); got != "drop:3,slow:0-1x10,straggle:2x2" {
+		t.Fatalf("faults round-trip to %q", got)
+	}
+
+	sys := DefaultSystem(8)
+	deg, remap, err := Degrade(sys, TinyLlama42M(), DropChip(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.Chips != 7 || len(remap) != 8 || remap[3] != -1 {
+		t.Fatalf("degrade: chips=%d remap=%v", deg.Chips, remap)
+	}
+	if deg.HW.Network == sys.HW.Network {
+		t.Fatal("degraded network shares the pristine digest")
+	}
+
+	torus, err := TorusNetwork(4, 2, MIPI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := NetlistFromNetwork(torus, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNetlist(strings.NewReader(nl.Format()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Chips != 8 || len(back.Edges) != len(nl.Edges) {
+		t.Fatalf("netlist round-trip: chips=%d links=%d/%d", back.Chips, len(back.Edges), len(nl.Edges))
+	}
+
+	study, err := ReplanStudy(sys, TinyLlama42M(), []Fault{SlowEdge(0, 1, 10)}, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Replan.MarginCycles < 1 {
+		t.Fatalf("resilience margin %g < 1", study.Replan.MarginCycles)
 	}
 }
